@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Shared machinery for the figure-reproduction benches: run a
+ * (scheme x workload) matrix with progress reporting and normalize
+ * against the baseline, the way the paper's evaluation plots do.
+ *
+ * Every bench accepts optional key=value arguments:
+ *   workloads=astar,lbm,...   subset of workloads
+ *   measure=<instructions>    measured window per core
+ *   warmup=<instructions>     functional warmup per core
+ * and honours LADDER_BENCH_SCALE (multiplies both windows).
+ */
+
+#ifndef LADDER_BENCH_BENCH_COMMON_HH
+#define LADDER_BENCH_BENCH_COMMON_HH
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "sim/experiment.hh"
+#include "trace/workloads.hh"
+
+namespace ladder
+{
+
+/** Results of a scheme x workload sweep. */
+struct Matrix
+{
+    std::vector<SchemeKind> schemes;
+    std::vector<std::string> workloads;
+    std::map<std::pair<std::string, std::string>, SimResult> results;
+
+    const SimResult &
+    at(SchemeKind kind, const std::string &workload) const
+    {
+        return results.at({schemeKindName(kind), workload});
+    }
+};
+
+/** Parse common bench arguments into the experiment config. */
+inline std::vector<std::string>
+parseBenchArgs(int argc, char **argv, ExperimentConfig &cfg)
+{
+    Config config;
+    config.parseArgs(argc, argv);
+    cfg.measureInstr = static_cast<std::uint64_t>(config.getInt(
+        "measure", static_cast<std::int64_t>(cfg.measureInstr)));
+    cfg.warmupInstr = static_cast<std::uint64_t>(config.getInt(
+        "warmup", static_cast<std::int64_t>(cfg.warmupInstr)));
+    cfg.seed = static_cast<std::uint64_t>(
+        config.getInt("seed", static_cast<std::int64_t>(cfg.seed)));
+    std::string workloads = config.getString("workloads", "");
+    std::vector<std::string> names;
+    if (workloads.empty())
+        return allWorkloadNames();
+    std::size_t pos = 0;
+    while (pos < workloads.size()) {
+        std::size_t comma = workloads.find(',', pos);
+        if (comma == std::string::npos)
+            comma = workloads.size();
+        names.push_back(workloads.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return names;
+}
+
+/** Run the sweep, reporting progress on stderr. */
+inline Matrix
+runMatrix(const std::vector<SchemeKind> &schemes,
+          const std::vector<std::string> &workloads,
+          const ExperimentConfig &cfg)
+{
+    Matrix matrix;
+    matrix.schemes = schemes;
+    matrix.workloads = workloads;
+    std::size_t total = schemes.size() * workloads.size();
+    std::size_t done = 0;
+    // Progress only on interactive terminals; keep piped/teed output
+    // free of carriage-return noise.
+    const bool interactive = isatty(fileno(stderr));
+    for (const auto &workload : workloads) {
+        for (SchemeKind kind : schemes) {
+            ++done;
+            if (interactive) {
+                std::fprintf(stderr, "\r[%zu/%zu] %-14s %-10s", done,
+                             total, schemeKindName(kind).c_str(),
+                             workload.c_str());
+                std::fflush(stderr);
+            }
+            matrix.results[{schemeKindName(kind), workload}] =
+                runOne(kind, workload, cfg);
+        }
+    }
+    if (interactive)
+        std::fprintf(stderr, "\r%60s\r", "");
+    return matrix;
+}
+
+/**
+ * Print a normalized table: one row per workload plus an AVG row,
+ * one column per scheme, where each value is
+ * metric(scheme) / metric(baseline) for that workload.
+ */
+template <typename MetricFn>
+inline void
+printNormalizedTable(const Matrix &matrix, SchemeKind baseline,
+                     MetricFn metric, int precision = 3)
+{
+    std::vector<std::string> columns;
+    for (SchemeKind kind : matrix.schemes)
+        columns.push_back(schemeKindName(kind));
+    TablePrinter printer(columns);
+    printer.printHeader();
+    std::vector<double> sums(matrix.schemes.size(), 0.0);
+    for (const auto &workload : matrix.workloads) {
+        double base = metric(matrix.at(baseline, workload));
+        std::vector<double> row;
+        for (std::size_t s = 0; s < matrix.schemes.size(); ++s) {
+            double value =
+                metric(matrix.at(matrix.schemes[s], workload));
+            double normalized = base != 0.0 ? value / base : 0.0;
+            row.push_back(normalized);
+            sums[s] += normalized;
+        }
+        printer.printRow(workload, row, precision);
+    }
+    for (auto &sum : sums)
+        sum /= static_cast<double>(matrix.workloads.size());
+    printer.printRow("AVG", sums, precision);
+}
+
+/** Print one non-normalized metric table. */
+template <typename MetricFn>
+inline void
+printRawTable(const Matrix &matrix, MetricFn metric,
+              int precision = 1)
+{
+    std::vector<std::string> columns;
+    for (SchemeKind kind : matrix.schemes)
+        columns.push_back(schemeKindName(kind));
+    TablePrinter printer(columns);
+    printer.printHeader();
+    std::vector<double> sums(matrix.schemes.size(), 0.0);
+    for (const auto &workload : matrix.workloads) {
+        std::vector<double> row;
+        for (std::size_t s = 0; s < matrix.schemes.size(); ++s) {
+            double value =
+                metric(matrix.at(matrix.schemes[s], workload));
+            row.push_back(value);
+            sums[s] += value;
+        }
+        printer.printRow(workload, row, precision);
+    }
+    for (auto &sum : sums)
+        sum /= static_cast<double>(matrix.workloads.size());
+    printer.printRow("AVG", sums, precision);
+}
+
+/** The paper's seven evaluated schemes in presentation order. */
+inline std::vector<SchemeKind>
+paperSchemes()
+{
+    return allSchemeKinds();
+}
+
+} // namespace ladder
+
+#endif // LADDER_BENCH_BENCH_COMMON_HH

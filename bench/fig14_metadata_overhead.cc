@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 14 reproduction: additional reads (SMB + LRS-metadata fills)
+ * and additional writes (LRS-metadata writebacks) of the three LADDER
+ * variants, as a percentage of the workload's demand reads/writes.
+ *
+ * Paper averages: additional reads 43% (Basic), 15% (Est), 4%
+ * (Hybrid); additional writes ~(Basic high), 8% (Est), 3% (Hybrid).
+ * Includes the Hybrid low-row-threshold ablation.
+ */
+
+#include "bench_common.hh"
+
+using namespace ladder;
+
+int
+main(int argc, char **argv)
+{
+    ExperimentConfig cfg = defaultExperimentConfig();
+    auto workloads = parseBenchArgs(argc, argv, cfg);
+
+    std::vector<SchemeKind> schemes = {SchemeKind::LadderBasic,
+                                       SchemeKind::LadderEst,
+                                       SchemeKind::LadderHybrid};
+    Matrix matrix = runMatrix(schemes, workloads, cfg);
+
+    std::printf("=== Figure 14a: additional reads due to metadata "
+                "maintenance (%% of demand reads) ===\n\n");
+    printRawTable(matrix, [](const SimResult &r) {
+        return 100.0 *
+               static_cast<double>(r.metadataReads + r.smbReads) /
+               static_cast<double>(r.dataReads);
+    });
+    std::printf("\npaper reference AVG: Basic 43%%, Est 15%%, Hybrid "
+                "4%%\n");
+
+    std::printf("\n=== Figure 14b: additional writes (%% of demand "
+                "writes) ===\n\n");
+    printRawTable(matrix, [](const SimResult &r) {
+        return 100.0 * static_cast<double>(r.metadataWrites) /
+               static_cast<double>(r.dataWrites);
+    });
+    std::printf("\npaper reference AVG: Est 8%%, Hybrid 3%% (Basic "
+                "higher: two metadata lines per page)\n");
+
+    // Ablation: the Hybrid low-precision row threshold.
+    std::printf("\n--- ablation: Hybrid low-precision rows (astar) "
+                "---\n");
+    std::printf("%10s %16s %16s\n", "low rows", "extra reads %",
+                "extra writes %");
+    for (unsigned lowRows : {0u, 64u, 128u, 256u}) {
+        ExperimentConfig sweep = cfg;
+        sweep.schemeOptions.hybridLowRows = lowRows;
+        SimResult r =
+            runOne(SchemeKind::LadderHybrid, "astar", sweep);
+        std::printf("%10u %16.1f %16.1f\n", lowRows,
+                    100.0 *
+                        static_cast<double>(r.metadataReads +
+                                            r.smbReads) /
+                        static_cast<double>(r.dataReads),
+                    100.0 * static_cast<double>(r.metadataWrites) /
+                        static_cast<double>(r.dataWrites));
+    }
+    return 0;
+}

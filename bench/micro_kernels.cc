@@ -1,0 +1,170 @@
+/**
+ * @file
+ * google-benchmark micro-kernels for the hot paths of the LADDER
+ * stack: content counting, counter packing/estimation, FNW, timing
+ * table lookups, the fast circuit model, the metadata cache and the
+ * FPC compressor.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "circuit/fastmodel.hh"
+#include "common/rng.hh"
+#include "ctrl/fnw.hh"
+#include "ctrl/metadata_cache.hh"
+#include "mem/backing_store.hh"
+#include "reram/timing_tables.hh"
+#include "schemes/fpc.hh"
+#include "schemes/partial_counter.hh"
+
+namespace
+{
+
+using namespace ladder;
+
+LineData
+randomLine(Rng &rng)
+{
+    LineData line;
+    for (auto &byte : line)
+        byte = static_cast<std::uint8_t>(rng.nextBounded(256));
+    return line;
+}
+
+void
+BM_PopcountLine(benchmark::State &state)
+{
+    Rng rng(1);
+    LineData line = randomLine(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(popcountLine(line));
+}
+BENCHMARK(BM_PopcountLine);
+
+void
+BM_PackPartialCounters(benchmark::State &state)
+{
+    Rng rng(2);
+    LineData line = randomLine(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(packPartialCounters2(line));
+}
+BENCHMARK(BM_PackPartialCounters);
+
+void
+BM_EstimateCw(benchmark::State &state)
+{
+    Rng rng(3);
+    std::array<std::uint8_t, 64> packed;
+    for (auto &byte : packed)
+        byte = static_cast<std::uint8_t>(rng.nextBounded(256));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(estimateCw2(packed));
+}
+BENCHMARK(BM_EstimateCw);
+
+void
+BM_ShiftEncode(benchmark::State &state)
+{
+    Rng rng(4);
+    LineData line = randomLine(rng);
+    for (auto _ : state) {
+        LineData out = line;
+        for (unsigned g = 0; g < 8; ++g) {
+            transposeGroup(out, g);
+            rotateGroupLeft(out, g, 13);
+        }
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_ShiftEncode);
+
+void
+BM_FnwDecide(benchmark::State &state)
+{
+    Rng rng(5);
+    LineData stored = randomLine(rng);
+    LineData data = randomLine(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            fnwDecide(stored, data, FnwMode::Constrained));
+}
+BENCHMARK(BM_FnwDecide);
+
+void
+BM_TimingTableLookup(benchmark::State &state)
+{
+    const TimingModel &model = cachedTimingModel(CrossbarParams{});
+    Rng rng(6);
+    for (auto _ : state) {
+        unsigned wl = static_cast<unsigned>(rng.nextBounded(512));
+        unsigned bl = static_cast<unsigned>(rng.nextBounded(512));
+        unsigned c = static_cast<unsigned>(rng.nextBounded(513));
+        benchmark::DoNotOptimize(model.ladder.lookup(wl, bl, c));
+    }
+}
+BENCHMARK(BM_TimingTableLookup);
+
+void
+BM_FastModelEvaluate(benchmark::State &state)
+{
+    CrossbarParams params;
+    SneakPathModel model(params);
+    for (auto _ : state) {
+        ResetCondition cond{255, 31, 256, 256};
+        benchmark::DoNotOptimize(model.evaluate(cond));
+    }
+}
+BENCHMARK(BM_FastModelEvaluate)->Unit(benchmark::kMicrosecond);
+
+void
+BM_MetadataCacheLookup(benchmark::State &state)
+{
+    MetadataCache cache(64 * 1024, 4);
+    Rng rng(7);
+    Addr victim;
+    for (unsigned i = 0; i < 2048; ++i)
+        cache.insert(i * lineBytes, 0, victim);
+    for (auto _ : state) {
+        Addr addr = rng.nextBounded(4096) * lineBytes;
+        MetaLookup result = cache.lookupForWrite(addr);
+        if (result == MetaLookup::Hit)
+            cache.releaseSharer(addr);
+        else if (result == MetaLookup::Miss)
+            cache.insert(addr, 0, victim);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_MetadataCacheLookup);
+
+void
+BM_FpcCompress(benchmark::State &state)
+{
+    Rng rng(8);
+    LineData line = randomLine(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fpcCompressedBits(line));
+}
+BENCHMARK(BM_FpcCompress);
+
+void
+BM_BackingStoreWrite(benchmark::State &state)
+{
+    BackingStore store(MemoryGeometry{}, true, 0.0);
+    Rng rng(9);
+    std::vector<LineData> lines;
+    for (int i = 0; i < 64; ++i)
+        lines.push_back(randomLine(rng));
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        Addr addr = (i % 4096) * lineBytes;
+        benchmark::DoNotOptimize(
+            store.write(addr, lines[i % lines.size()]));
+        ++i;
+    }
+}
+BENCHMARK(BM_BackingStoreWrite);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fast sneak-path macromodel of a crossbar RESET.
+ *
+ * Instead of solving all rows*cols*2 MNA nodes, the model keeps only the
+ * lines that matter to first order for the selected cells' voltage drop:
+ * the selected wordline and the selected bitlines, each discretized into
+ * per-crosspoint nodes. Half-selected cells hang off these lines as
+ * voltage-dependent shunt loads to the V/2 bias (unselected lines are
+ * assumed to sit at their driver potential, the standard approximation
+ * in crossbar design-space studies). Each line is then a tridiagonal
+ * system solved with the Thomas algorithm inside a damped fixed-point
+ * loop that exchanges the selected-cell currents between the wordline
+ * and bitline solves.
+ *
+ * Cost is O(rows + cols) per nonlinear iteration, microseconds per
+ * operating point, which lets the memory simulator build full timing
+ * tables at startup. Accuracy is validated against CrossbarMna in the
+ * test suite.
+ */
+
+#ifndef LADDER_CIRCUIT_FASTMODEL_HH
+#define LADDER_CIRCUIT_FASTMODEL_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "cell_model.hh"
+#include "reset_condition.hh"
+
+namespace ladder
+{
+
+/** Fast 1-D coupled-line crossbar RESET evaluator. */
+class SneakPathModel
+{
+  public:
+    explicit SneakPathModel(const CrossbarParams &params);
+
+    /** Evaluate one RESET operating point. */
+    ResetEvaluation evaluate(const ResetCondition &cond) const;
+
+    const CellModel &cellModel() const { return cell_; }
+    const CrossbarParams &params() const { return params_; }
+
+  private:
+    CrossbarParams params_;
+    CellModel cell_;
+};
+
+} // namespace ladder
+
+#endif // LADDER_CIRCUIT_FASTMODEL_HH

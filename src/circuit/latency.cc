@@ -1,0 +1,49 @@
+#include "latency.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace ladder
+{
+
+double
+ResetLatencyLaw::latencyNs(double dropVolts) const
+{
+    double t = cNs * std::exp(-kPerVolt * std::abs(dropVolts));
+    return std::clamp(t, fastNs, slowNs);
+}
+
+ResetLatencyLaw
+ResetLatencyLaw::calibrate(double bestDropVolts, double worstDropVolts,
+                           double fast, double slow)
+{
+    ladder_assert(bestDropVolts > worstDropVolts,
+                  "calibrate: best drop (%f) must exceed worst (%f)",
+                  bestDropVolts, worstDropVolts);
+    ladder_assert(slow > fast && fast > 0.0,
+                  "calibrate: need slow > fast > 0");
+    ResetLatencyLaw law;
+    law.fastNs = fast;
+    law.slowNs = slow;
+    law.kPerVolt =
+        std::log(slow / fast) / (bestDropVolts - worstDropVolts);
+    law.cNs = fast * std::exp(law.kPerVolt * bestDropVolts);
+    return law;
+}
+
+ResetLatencyLaw
+ResetLatencyLaw::shrinkDynamicRange(double factor) const
+{
+    ladder_assert(factor >= 1.0, "shrink factor must be >= 1");
+    // A device with less process variation keeps its worst-case spec
+    // (the baseline's fixed tWR) but its best case degrades toward
+    // it: shrink anchored at the slow end (paper §7).
+    double newFast = slowNs - (slowNs - fastNs) / factor;
+    double bestDrop = std::log(cNs / fastNs) / kPerVolt;
+    double worstDrop = std::log(cNs / slowNs) / kPerVolt;
+    return calibrate(bestDrop, worstDrop, newFast, slowNs);
+}
+
+} // namespace ladder

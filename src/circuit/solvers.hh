@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Linear solvers for the crossbar circuit simulation: Jacobi-
+ * preconditioned conjugate gradient for the (SPD) MNA systems, dense
+ * Gaussian elimination as a validation reference, and the Thomas
+ * algorithm for the tridiagonal line systems of the fast sneak-path
+ * model.
+ */
+
+#ifndef LADDER_CIRCUIT_SOLVERS_HH
+#define LADDER_CIRCUIT_SOLVERS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sparse.hh"
+
+namespace ladder
+{
+
+/** Outcome of an iterative solve. */
+struct CgResult
+{
+    bool converged = false;
+    std::size_t iterations = 0;
+    double residualNorm = 0.0;
+};
+
+/**
+ * Solve A x = b for SPD A with Jacobi-preconditioned conjugate gradient.
+ *
+ * @param a SPD system matrix.
+ * @param b Right-hand side.
+ * @param x In: initial guess (warm start). Out: solution.
+ * @param tol Relative residual tolerance (||r|| / ||b||).
+ * @param maxIter Iteration cap (0 means 10 * n).
+ */
+CgResult conjugateGradient(const SparseMatrix &a,
+                           const std::vector<double> &b,
+                           std::vector<double> &x,
+                           double tol = 1e-10,
+                           std::size_t maxIter = 0);
+
+/**
+ * Solve a dense system by Gaussian elimination with partial pivoting.
+ * Intended for validation on small systems only (O(n^3)).
+ *
+ * @param dense Row-major n x n matrix (modified in place).
+ * @param b Right-hand side (modified in place; becomes the solution).
+ */
+void denseSolveInPlace(std::vector<double> &dense,
+                       std::vector<double> &b,
+                       std::size_t n);
+
+/**
+ * Solve a tridiagonal system with the Thomas algorithm.
+ *
+ * diag/rhs are modified in place; the solution is returned in rhs.
+ * sub[i] couples row i to i-1 (sub[0] unused); sup[i] couples row i to
+ * i+1 (sup[n-1] unused).
+ */
+void solveTridiagonal(std::vector<double> &sub,
+                      std::vector<double> &diag,
+                      std::vector<double> &sup,
+                      std::vector<double> &rhs);
+
+} // namespace ladder
+
+#endif // LADDER_CIRCUIT_SOLVERS_HH

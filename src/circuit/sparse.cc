@@ -1,0 +1,96 @@
+#include "sparse.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ladder
+{
+
+SparseMatrix::SparseMatrix(std::size_t n, std::vector<Triplet> triplets)
+    : n_(n)
+{
+    for (const auto &t : triplets) {
+        ladder_assert(t.row < n && t.col < n,
+                      "triplet (%zu, %zu) outside %zu x %zu matrix",
+                      t.row, t.col, n, n);
+    }
+    std::sort(triplets.begin(), triplets.end(),
+              [](const Triplet &a, const Triplet &b) {
+                  if (a.row != b.row)
+                      return a.row < b.row;
+                  return a.col < b.col;
+              });
+
+    rowPtr_.assign(n_ + 1, 0);
+    colIdx_.reserve(triplets.size());
+    values_.reserve(triplets.size());
+
+    std::size_t i = 0;
+    while (i < triplets.size()) {
+        std::size_t row = triplets[i].row;
+        std::size_t col = triplets[i].col;
+        double sum = 0.0;
+        while (i < triplets.size() && triplets[i].row == row &&
+               triplets[i].col == col) {
+            sum += triplets[i].value;
+            ++i;
+        }
+        colIdx_.push_back(col);
+        values_.push_back(sum);
+        rowPtr_[row + 1] = colIdx_.size();
+    }
+    // Rows with no entries keep the previous offset.
+    for (std::size_t r = 1; r <= n_; ++r)
+        rowPtr_[r] = std::max(rowPtr_[r], rowPtr_[r - 1]);
+}
+
+void
+SparseMatrix::multiply(const std::vector<double> &x,
+                       std::vector<double> &y) const
+{
+    ladder_assert(x.size() == n_, "matvec: dimension mismatch");
+    y.assign(n_, 0.0);
+    for (std::size_t r = 0; r < n_; ++r) {
+        double acc = 0.0;
+        for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k)
+            acc += values_[k] * x[colIdx_[k]];
+        y[r] = acc;
+    }
+}
+
+std::vector<double>
+SparseMatrix::diagonal() const
+{
+    std::vector<double> d(n_, 0.0);
+    for (std::size_t r = 0; r < n_; ++r) {
+        for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
+            if (colIdx_[k] == r)
+                d[r] = values_[k];
+        }
+    }
+    return d;
+}
+
+double
+SparseMatrix::at(std::size_t row, std::size_t col) const
+{
+    ladder_assert(row < n_ && col < n_, "at(): out of range");
+    for (std::size_t k = rowPtr_[row]; k < rowPtr_[row + 1]; ++k) {
+        if (colIdx_[k] == col)
+            return values_[k];
+    }
+    return 0.0;
+}
+
+std::vector<double>
+SparseMatrix::toDense() const
+{
+    std::vector<double> dense(n_ * n_, 0.0);
+    for (std::size_t r = 0; r < n_; ++r)
+        for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k)
+            dense[r * n_ + colIdx_[k]] = values_[k];
+    return dense;
+}
+
+} // namespace ladder

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Compressed sparse row matrices for the crossbar MNA system. The
+ * conductance matrices we assemble are symmetric positive definite, so a
+ * dedicated SPD path (conjugate gradient) lives in solvers.hh.
+ */
+
+#ifndef LADDER_CIRCUIT_SPARSE_HH
+#define LADDER_CIRCUIT_SPARSE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace ladder
+{
+
+/** A (row, col, value) contribution used while assembling a matrix. */
+struct Triplet
+{
+    std::size_t row;
+    std::size_t col;
+    double value;
+};
+
+/**
+ * Square sparse matrix in CSR form. Duplicate triplets are summed during
+ * construction, which matches the "stamping" style of MNA assembly.
+ */
+class SparseMatrix
+{
+  public:
+    SparseMatrix() = default;
+
+    /** Build an n x n CSR matrix from triplets (duplicates summed). */
+    SparseMatrix(std::size_t n, std::vector<Triplet> triplets);
+
+    std::size_t size() const { return n_; }
+    std::size_t nonZeros() const { return values_.size(); }
+
+    /** y = A * x */
+    void multiply(const std::vector<double> &x,
+                  std::vector<double> &y) const;
+
+    /** Diagonal entries (zero when absent); used for Jacobi scaling. */
+    std::vector<double> diagonal() const;
+
+    /** Entry accessor (slow; for tests). */
+    double at(std::size_t row, std::size_t col) const;
+
+    /** Convert to a dense row-major matrix (tests / small systems). */
+    std::vector<double> toDense() const;
+
+  private:
+    std::size_t n_ = 0;
+    std::vector<std::size_t> rowPtr_;
+    std::vector<std::size_t> colIdx_;
+    std::vector<double> values_;
+};
+
+} // namespace ladder
+
+#endif // LADDER_CIRCUIT_SPARSE_HH

@@ -1,0 +1,128 @@
+#include "bitops.hh"
+
+#include <cstring>
+
+#include "log.hh"
+
+namespace ladder
+{
+
+unsigned
+popcountLine(const LineData &line)
+{
+    unsigned total = 0;
+    for (size_t i = 0; i < lineBytes; i += 8) {
+        std::uint64_t word;
+        std::memcpy(&word, line.data() + i, sizeof(word));
+        total += static_cast<unsigned>(std::popcount(word));
+    }
+    return total;
+}
+
+unsigned
+popcountRange(const LineData &line, size_t first, size_t last)
+{
+    ladder_assert(first <= last && last <= lineBytes,
+                  "range [%zu, %zu) out of bounds", first, last);
+    unsigned total = 0;
+    for (size_t i = first; i < last; ++i)
+        total += popcount8(line[i]);
+    return total;
+}
+
+unsigned
+maxBytePopcount(const LineData &line, size_t first, size_t last)
+{
+    ladder_assert(first <= last && last <= lineBytes,
+                  "range [%zu, %zu) out of bounds", first, last);
+    unsigned best = 0;
+    for (size_t i = first; i < last; ++i) {
+        unsigned pc = popcount8(line[i]);
+        if (pc > best)
+            best = pc;
+    }
+    return best;
+}
+
+unsigned
+hammingLine(const LineData &a, const LineData &b)
+{
+    unsigned total = 0;
+    for (size_t i = 0; i < lineBytes; i += 8) {
+        std::uint64_t wa, wb;
+        std::memcpy(&wa, a.data() + i, sizeof(wa));
+        std::memcpy(&wb, b.data() + i, sizeof(wb));
+        total += static_cast<unsigned>(std::popcount(wa ^ wb));
+    }
+    return total;
+}
+
+BitTransitions
+countTransitions(const LineData &before, const LineData &after)
+{
+    BitTransitions t;
+    for (size_t i = 0; i < lineBytes; i += 8) {
+        std::uint64_t wb, wa;
+        std::memcpy(&wb, before.data() + i, sizeof(wb));
+        std::memcpy(&wa, after.data() + i, sizeof(wa));
+        t.resets += static_cast<unsigned>(std::popcount(wb & ~wa));
+        t.sets += static_cast<unsigned>(std::popcount(~wb & wa));
+    }
+    return t;
+}
+
+LineData
+invertLine(const LineData &line)
+{
+    LineData out;
+    for (size_t i = 0; i < lineBytes; ++i)
+        out[i] = static_cast<std::uint8_t>(~line[i]);
+    return out;
+}
+
+LineData
+filledLine(std::uint8_t fill)
+{
+    LineData out;
+    out.fill(fill);
+    return out;
+}
+
+void
+rotateGroupLeft(LineData &line, unsigned group, unsigned amount)
+{
+    ladder_assert(group < lineBytes / 8, "group %u out of range", group);
+    std::uint64_t word;
+    std::memcpy(&word, line.data() + group * 8, sizeof(word));
+    word = std::rotl(word, static_cast<int>(amount % 64));
+    std::memcpy(line.data() + group * 8, &word, sizeof(word));
+}
+
+void
+transposeGroup(LineData &line, unsigned group)
+{
+    ladder_assert(group < lineBytes / 8, "group %u out of range", group);
+    std::uint64_t x;
+    std::memcpy(&x, line.data() + group * 8, sizeof(x));
+    // Hacker's Delight 8x8 bit-matrix transpose.
+    std::uint64_t t;
+    t = (x ^ (x >> 7)) & 0x00aa00aa00aa00aaull;
+    x = x ^ t ^ (t << 7);
+    t = (x ^ (x >> 14)) & 0x0000cccc0000ccccull;
+    x = x ^ t ^ (t << 14);
+    t = (x ^ (x >> 28)) & 0x00000000f0f0f0f0ull;
+    x = x ^ t ^ (t << 28);
+    std::memcpy(line.data() + group * 8, &x, sizeof(x));
+}
+
+void
+rotateGroupRight(LineData &line, unsigned group, unsigned amount)
+{
+    ladder_assert(group < lineBytes / 8, "group %u out of range", group);
+    std::uint64_t word;
+    std::memcpy(&word, line.data() + group * 8, sizeof(word));
+    word = std::rotr(word, static_cast<int>(amount % 64));
+    std::memcpy(line.data() + group * 8, &word, sizeof(word));
+}
+
+} // namespace ladder

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Bit-manipulation utilities used throughout the LADDER stack: popcounts
+ * at byte/line granularity, per-byte maxima, and the bit-level rotation
+ * primitive used by the intra-line shifting optimization (paper §4.1).
+ */
+
+#ifndef LADDER_COMMON_BITOPS_HH
+#define LADDER_COMMON_BITOPS_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+
+#include "types.hh"
+
+namespace ladder
+{
+
+/** A 64-byte memory line payload. */
+using LineData = std::array<std::uint8_t, lineBytes>;
+
+/** Number of set bits in one byte. */
+inline unsigned
+popcount8(std::uint8_t v)
+{
+    return static_cast<unsigned>(std::popcount(v));
+}
+
+/** Number of set bits in an entire 64-byte line. */
+unsigned popcountLine(const LineData &line);
+
+/** Number of set bits in a [first, last) byte range of a line. */
+unsigned popcountRange(const LineData &line, size_t first, size_t last);
+
+/** Maximum per-byte popcount over a [first, last) byte range. */
+unsigned maxBytePopcount(const LineData &line, size_t first, size_t last);
+
+/** Number of differing bits between two lines (Hamming distance). */
+unsigned hammingLine(const LineData &a, const LineData &b);
+
+/**
+ * Number of 1->0 transitions (RESETs) and 0->1 transitions (SETs) needed
+ * to turn @p before into @p after.
+ */
+struct BitTransitions
+{
+    unsigned resets = 0; //!< bits going 1 -> 0 (LRS -> HRS)
+    unsigned sets = 0;   //!< bits going 0 -> 1 (HRS -> LRS)
+};
+
+BitTransitions countTransitions(const LineData &before,
+                                const LineData &after);
+
+/** Bitwise NOT of an entire line. */
+LineData invertLine(const LineData &line);
+
+/** A line with every byte equal to @p fill. */
+LineData filledLine(std::uint8_t fill);
+
+/**
+ * Rotate the bits of an 8-byte group left by @p amount positions,
+ * treating the 8 bytes as a 64-bit little-endian quantity.
+ *
+ * This is the primitive behind LADDER's intra-line bit-level shifting:
+ * the 8 bytes a chip contributes to a line are rotated so that clustered
+ * '1' bytes are spread across the chip's 8 mats. Rotation is exactly
+ * invertible (rotate right by the same amount).
+ *
+ * @param line Line to transform (modified in place).
+ * @param group Which 8-byte group (0-7) to rotate.
+ * @param amount Rotation amount in bits (taken modulo 64).
+ */
+void rotateGroupLeft(LineData &line, unsigned group, unsigned amount);
+
+/** Inverse of rotateGroupLeft. */
+void rotateGroupRight(LineData &line, unsigned group, unsigned amount);
+
+/**
+ * Transpose the 8x8 bit matrix formed by an 8-byte group: bit j of
+ * byte i swaps with bit i of byte j. A dense byte (e.g. a sign-
+ * extension or FP-exponent byte) is thereby spread one bit into each
+ * of the 8 bytes — i.e. one bit into each mat of the chip. The
+ * transform is an involution (applying it twice restores the data).
+ */
+void transposeGroup(LineData &line, unsigned group);
+
+} // namespace ladder
+
+#endif // LADDER_COMMON_BITOPS_HH

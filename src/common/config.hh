@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A minimal typed key=value configuration store. Examples and benches use
+ * it to override simulator defaults from the command line or environment.
+ */
+
+#ifndef LADDER_COMMON_CONFIG_HH
+#define LADDER_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ladder
+{
+
+/**
+ * Flat configuration dictionary with typed accessors and defaults.
+ * Keys are dotted paths such as "ctrl.write_queue_entries".
+ */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Set (or overwrite) a key. */
+    void set(const std::string &key, const std::string &value);
+    void setInt(const std::string &key, std::int64_t value);
+    void setDouble(const std::string &key, double value);
+    void setBool(const std::string &key, bool value);
+
+    /** Whether a key is present. */
+    bool has(const std::string &key) const;
+
+    /** Typed getters that fall back to @p fallback when absent. */
+    std::string getString(const std::string &key,
+                          const std::string &fallback) const;
+    std::int64_t getInt(const std::string &key,
+                        std::int64_t fallback) const;
+    double getDouble(const std::string &key, double fallback) const;
+    bool getBool(const std::string &key, bool fallback) const;
+
+    /**
+     * Parse "key=value" tokens (e.g. command-line arguments). Tokens
+     * without '=' are ignored and returned for the caller to interpret.
+     */
+    std::vector<std::string> parseArgs(int argc, const char *const *argv);
+
+    /** All keys in sorted order (for dumping). */
+    std::vector<std::string> keys() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace ladder
+
+#endif // LADDER_COMMON_CONFIG_HH

@@ -1,0 +1,60 @@
+#include "log.hh"
+
+#include <cstdarg>
+#include <stdexcept>
+
+namespace ladder
+{
+
+std::string
+strPrintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (len < 0) {
+        va_end(args_copy);
+        return std::string(fmt);
+    }
+    std::string out(static_cast<size_t>(len), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+    va_end(args_copy);
+    return out;
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    const char *prefix = "";
+    switch (level) {
+      case LogLevel::Info: prefix = "info: "; break;
+      case LogLevel::Warn: prefix = "warn: "; break;
+      case LogLevel::Fatal: prefix = "fatal: "; break;
+      case LogLevel::Panic: prefix = "panic: "; break;
+    }
+    std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
+    std::fflush(stderr);
+}
+
+[[noreturn]] void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    logMessage(LogLevel::Panic,
+               strPrintf("%s:%d: %s", file, line, msg.c_str()));
+    // Throwing instead of abort() keeps the failure testable; the type is
+    // std::logic_error because a panic is by definition a program bug.
+    throw std::logic_error(msg);
+}
+
+[[noreturn]] void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    logMessage(LogLevel::Fatal,
+               strPrintf("%s:%d: %s", file, line, msg.c_str()));
+    throw std::runtime_error(msg);
+}
+
+} // namespace ladder

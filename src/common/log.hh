@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting: panic, fatal, warn, inform.
+ *
+ * panic()  - an internal invariant was violated (a simulator bug); aborts.
+ * fatal()  - the user asked for something unsupported/inconsistent; exits.
+ * warn()   - something is suspicious but simulation can continue.
+ * inform() - a plain status message.
+ */
+
+#ifndef LADDER_COMMON_LOG_HH
+#define LADDER_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ladder
+{
+
+/** Severity levels for the message sink. */
+enum class LogLevel { Info, Warn, Fatal, Panic };
+
+/**
+ * Emit a formatted message to stderr with a severity prefix.
+ *
+ * @param level Message severity.
+ * @param msg Pre-formatted message body.
+ */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string strPrintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an internal simulator bug and abort. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Report a user/configuration error and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+} // namespace ladder
+
+#define panic(...) \
+    ::ladder::panicImpl(__FILE__, __LINE__, ::ladder::strPrintf(__VA_ARGS__))
+
+#define fatal(...) \
+    ::ladder::fatalImpl(__FILE__, __LINE__, ::ladder::strPrintf(__VA_ARGS__))
+
+#define warn(...) \
+    ::ladder::logMessage(::ladder::LogLevel::Warn, \
+                         ::ladder::strPrintf(__VA_ARGS__))
+
+#define inform(...) \
+    ::ladder::logMessage(::ladder::LogLevel::Info, \
+                         ::ladder::strPrintf(__VA_ARGS__))
+
+/** Assert that must hold even in release builds; reports as a panic. */
+#define ladder_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::ladder::panicImpl(__FILE__, __LINE__, \
+                "assertion '" #cond "' failed: " + \
+                ::ladder::strPrintf(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // LADDER_COMMON_LOG_HH

@@ -1,0 +1,163 @@
+#include "rng.hh"
+
+#include <cmath>
+
+#include "log.hh"
+
+namespace ladder
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    return splitmix64(x);
+}
+
+namespace
+{
+
+inline std::uint64_t
+rotl64(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl64(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl64(state_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    ladder_assert(bound > 0, "nextBounded(0)");
+    // Lemire's nearly-divisionless bounded sampling.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+        std::uint64_t t = (0 - bound) % bound;
+        while (l < t) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            l = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    ladder_assert(lo <= hi, "nextRange: lo > hi");
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(nextBounded(span));
+}
+
+std::uint64_t
+Rng::nextGeometric(double p)
+{
+    ladder_assert(p > 0.0 && p <= 1.0, "nextGeometric: p out of range");
+    if (p >= 1.0)
+        return 0;
+    double u = nextDouble();
+    // Guard against log(0).
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return static_cast<std::uint64_t>(
+        std::floor(std::log(u) / std::log(1.0 - p)));
+}
+
+double
+Rng::nextGaussian()
+{
+    double u1 = nextDouble();
+    double u2 = nextDouble();
+    if (u1 <= 0.0)
+        u1 = 0x1.0p-53;
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * M_PI * u2);
+}
+
+std::uint64_t
+Rng::nextZipf(std::uint64_t n, double s)
+{
+    ladder_assert(n > 0, "nextZipf: n == 0");
+    if (n == 1)
+        return 0;
+    // Rejection-inversion sampling for the Zipf distribution
+    // (W. Hormann & G. Derflinger style, simplified for s != 1 handled
+    // via the generalized harmonic integral).
+    const double e = 1.0 - s;
+    auto h = [&](double x) {
+        if (std::abs(e) < 1e-12)
+            return std::log(x);
+        return (std::pow(x, e) - 1.0) / e;
+    };
+    auto hInv = [&](double y) {
+        if (std::abs(e) < 1e-12)
+            return std::exp(y);
+        return std::pow(1.0 + y * e, 1.0 / e);
+    };
+    const double hx0 = h(0.5) - 1.0;
+    const double hn = h(static_cast<double>(n) + 0.5);
+    while (true) {
+        double u = hx0 + nextDouble() * (hn - hx0);
+        double x = hInv(u);
+        std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+        if (k < 1)
+            k = 1;
+        if (k > n)
+            k = n;
+        double kd = static_cast<double>(k);
+        if (u >= h(kd + 0.5) - std::pow(kd, -s) || k == 1)
+            return k - 1;
+    }
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xd1b54a32d192ed03ull);
+}
+
+} // namespace ladder

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256** seeded via
+ * splitmix64). Every stochastic component in the simulator draws from an
+ * explicitly seeded Rng so runs are reproducible bit-for-bit.
+ */
+
+#ifndef LADDER_COMMON_RNG_HH
+#define LADDER_COMMON_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+namespace ladder
+{
+
+/** One splitmix64 step; used for seeding and cheap hashing. */
+std::uint64_t splitmix64(std::uint64_t &state);
+
+/** Stateless 64-bit mix (finalizer) usable as a hash. */
+std::uint64_t mix64(std::uint64_t x);
+
+/**
+ * xoshiro256** generator. Small, fast, and high quality; good enough for
+ * workload synthesis and parameter jitter (we are not doing cryptography).
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using Lemire's method. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool nextBool(double p);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Geometric-ish draw: number of failures before success(p). */
+    std::uint64_t nextGeometric(double p);
+
+    /** Standard normal via Box-Muller (no caching; two draws). */
+    double nextGaussian();
+
+    /**
+     * Zipf-distributed integer in [0, n) with exponent @p s, via
+     * rejection-inversion (Jacobsohn). Used for page popularity.
+     */
+    std::uint64_t nextZipf(std::uint64_t n, double s);
+
+    /** Split off an independent child generator. */
+    Rng split();
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace ladder
+
+#endif // LADDER_COMMON_RNG_HH

@@ -1,0 +1,145 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "log.hh"
+
+namespace ladder
+{
+
+void
+StatAverage::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    ++count_;
+}
+
+void
+StatAverage::reset()
+{
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+    count_ = 0;
+}
+
+double
+StatAverage::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+StatHistogram::StatHistogram(double lo, double hi, unsigned buckets)
+{
+    init(lo, hi, buckets);
+}
+
+void
+StatHistogram::init(double lo, double hi, unsigned buckets)
+{
+    ladder_assert(hi > lo, "histogram: hi <= lo");
+    ladder_assert(buckets > 0, "histogram: zero buckets");
+    lo_ = lo;
+    hi_ = hi;
+    counts_.assign(buckets, 0);
+    reset();
+}
+
+void
+StatHistogram::sample(double v)
+{
+    sum_ += v;
+    ++total_;
+    if (v < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (v >= hi_) {
+        ++overflow_;
+        return;
+    }
+    double frac = (v - lo_) / (hi_ - lo_);
+    auto idx = static_cast<size_t>(frac * counts_.size());
+    if (idx >= counts_.size())
+        idx = counts_.size() - 1;
+    ++counts_[idx];
+}
+
+void
+StatHistogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    underflow_ = 0;
+    overflow_ = 0;
+    total_ = 0;
+    sum_ = 0.0;
+}
+
+double
+StatHistogram::bucketLo(unsigned i) const
+{
+    return lo_ + (hi_ - lo_) * i / static_cast<double>(counts_.size());
+}
+
+void
+StatGroup::regScalar(const std::string &name, StatScalar *stat,
+                     const std::string &desc)
+{
+    scalars_.push_back({name, stat, desc});
+}
+
+void
+StatGroup::regAverage(const std::string &name, StatAverage *stat,
+                      const std::string &desc)
+{
+    averages_.push_back({name, stat, desc});
+}
+
+void
+StatGroup::addChild(StatGroup *child)
+{
+    children_.push_back(child);
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &entry : scalars_) {
+        os << std::left << std::setw(48) << (name_ + "." + entry.name)
+           << std::right << std::setw(16) << entry.stat->value();
+        if (!entry.desc.empty())
+            os << "  # " << entry.desc;
+        os << '\n';
+    }
+    for (const auto &entry : averages_) {
+        os << std::left << std::setw(48)
+           << (name_ + "." + entry.name + ".mean")
+           << std::right << std::setw(16) << entry.stat->mean();
+        if (!entry.desc.empty())
+            os << "  # " << entry.desc;
+        os << '\n';
+    }
+    for (const auto *child : children_)
+        child->dump(os);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &entry : scalars_)
+        entry.stat->reset();
+    for (auto &entry : averages_)
+        entry.stat->reset();
+    for (auto *child : children_)
+        child->resetAll();
+}
+
+} // namespace ladder

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fundamental type aliases shared across the LADDER codebase.
+ */
+
+#ifndef LADDER_COMMON_TYPES_HH
+#define LADDER_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace ladder
+{
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A physical memory address (byte granularity). */
+using Addr = std::uint64_t;
+
+/** Number of ticks per nanosecond (the base unit is one picosecond). */
+constexpr Tick ticksPerNs = 1000;
+
+/** Convert nanoseconds (possibly fractional) to ticks. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(ticksPerNs) + 0.5);
+}
+
+/** Convert ticks to (fractional) nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(ticksPerNs);
+}
+
+/** Sentinel for "no tick" / "not scheduled". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Sentinel for an invalid address. */
+constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+
+/** Size of one memory block / cache line in bytes. */
+constexpr unsigned lineBytes = 64;
+
+} // namespace ladder
+
+#endif // LADDER_COMMON_TYPES_HH

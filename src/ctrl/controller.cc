@@ -1,0 +1,714 @@
+#include "controller.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ladder
+{
+
+MemoryController::MemoryController(EventQueue &events,
+                                   const ControllerConfig &cfg,
+                                   const MemoryGeometry &geo,
+                                   unsigned channel, BackingStore &store,
+                                   const TimingModel &timing,
+                                   std::shared_ptr<WriteScheme> scheme)
+    : events_(events),
+      cfg_(cfg),
+      geo_(geo),
+      map_(geo),
+      channel_(channel),
+      store_(store),
+      timing_(timing),
+      scheme_(std::move(scheme)),
+      metaCache_(cfg.metadataCacheBytes, cfg.metadataCacheWays)
+{
+    ladder_assert(scheme_ != nullptr, "controller needs a scheme");
+    ladder_assert(cfg_.subarraysPerBank > 0, "need >= 1 subarray");
+    bankBusyUntil_.assign(
+        static_cast<std::size_t>(geo_.ranksPerChannel) *
+            geo_.banksPerRank * cfg_.subarraysPerBank,
+        0);
+    tRcd_ = nsToTicks(cfg_.tRcdNs);
+    tCl_ = nsToTicks(cfg_.tClNs);
+    tBurst_ = nsToTicks(cfg_.tBurstNs);
+}
+
+void
+MemoryController::regStats(StatGroup &group)
+{
+    group.regScalar("data_reads", &dataReads, "demand reads serviced");
+    group.regScalar("metadata_reads", &metadataReads,
+                    "LRS-metadata line fills");
+    group.regScalar("smb_reads", &smbReads, "stale-memory-block reads");
+    group.regScalar("data_writes", &dataWrites, "data writes serviced");
+    group.regScalar("metadata_writes", &metadataWrites,
+                    "LRS-metadata writebacks");
+    group.regScalar("fnw_flips", &fnwFlips, "FNW inversions applied");
+    group.regScalar("fnw_cancelled", &fnwCancelled,
+                    "FNW flips vetoed by counting constraint");
+    group.regScalar("drain_entries", &drainEntries,
+                    "write-drain mode entries");
+    group.regScalar("spill_insertions", &spillInsertions,
+                    "metadata fills parked in the spill buffer");
+    group.regAverage("read_latency_ns", &readLatencyNs,
+                     "demand read queue+service latency");
+    group.regAverage("write_service_ns", &writeServiceNs,
+                     "data write tRCD+tWR");
+    group.regAverage("write_twr_ns", &writeLatencyOnlyNs,
+                     "data write tWR only");
+    group.regAverage("write_queue_ns", &writeQueueTimeNs,
+                     "data write queueing time");
+    group.regScalar("read_energy_pj", &readEnergyPj, "");
+    group.regScalar("write_energy_pj", &writeEnergyPj, "");
+    group.regScalar("data_write_energy_pj", &dataWriteEnergyPj, "");
+    group.regScalar("meta_write_energy_pj", &metaWriteEnergyPj, "");
+    group.regScalar("cell_resets", &cellResets, "");
+    group.regScalar("cell_sets", &cellSets, "");
+}
+
+Addr
+MemoryController::physAddr(Addr lineAddr)
+{
+    ladder_assert(lineAddr % lineBytes == 0,
+                  "address 0x%llx not line aligned",
+                  static_cast<unsigned long long>(lineAddr));
+    return remapper_ ? remapper_->remap(lineAddr) : lineAddr;
+}
+
+unsigned
+MemoryController::bankIndex(const BlockLocation &loc) const
+{
+    unsigned bank = loc.rank * geo_.banksPerRank + loc.bank;
+    unsigned subarray = loc.matGroup % cfg_.subarraysPerBank;
+    return bank * cfg_.subarraysPerBank + subarray;
+}
+
+bool
+MemoryController::canAcceptRead() const
+{
+    return readQueue_.size() < cfg_.readQueueEntries;
+}
+
+bool
+MemoryController::canAcceptWrite() const
+{
+    return writeQueue_.size() < cfg_.writeQueueEntries;
+}
+
+void
+MemoryController::addRetryListener(std::function<void()> listener)
+{
+    retryListeners_.push_back(std::move(listener));
+}
+
+void
+MemoryController::notifyRetry()
+{
+    for (auto &listener : retryListeners_)
+        listener();
+}
+
+LineData
+MemoryController::readLogical(Addr physLineAddr)
+{
+    LineData raw = store_.read(physLineAddr);
+    if (store_.flipped(physLineAddr))
+        raw = invertLine(raw);
+    return scheme_->decodeData(physLineAddr, raw);
+}
+
+LineData
+MemoryController::functionalRead(Addr lineAddr)
+{
+    return readLogical(physAddr(lineAddr));
+}
+
+void
+MemoryController::functionalWrite(Addr lineAddr, const LineData &data)
+{
+    Addr phys = physAddr(lineAddr);
+    LineData encoded = scheme_->encodeData(phys, data);
+    FnwMode mode = cfg_.fnwMode;
+    if (mode != FnwMode::Off && scheme_->constrainedFnw())
+        mode = FnwMode::Constrained;
+    const LineData &stored = store_.read(phys);
+    FnwDecision fnw = fnwDecide(stored, encoded, mode);
+    store_.setFlipped(phys, fnw.flip);
+    store_.write(phys, fnw.data);
+}
+
+void
+MemoryController::enqueueRead(Addr lineAddr, ReadCallback callback)
+{
+    ladder_assert(canAcceptRead(), "read queue overflow");
+    Addr phys = physAddr(lineAddr);
+    BlockLocation loc = map_.decode(phys);
+    ladder_assert(loc.channel == channel_,
+                  "read for channel %u routed to controller %u",
+                  loc.channel, channel_);
+    ++dataReads;
+
+    // Forward from a queued or in-flight write to the same block.
+    for (const auto &entry : writeQueue_) {
+        if (entry.addr == phys && !entry.isMetadataWrite) {
+            LineData data = entry.data;
+            Tick when = events_.now() + tCl_;
+            Tick enq = events_.now();
+            events_.schedule(when, [this, callback, data, when, enq]() {
+                readLatencyNs.sample(ticksToNs(when - enq));
+                callback(data, when);
+            });
+            return;
+        }
+    }
+    auto inflight = inFlightWrites_.find(phys);
+    if (inflight != inFlightWrites_.end()) {
+        LineData data = inflight->second;
+        Tick when = events_.now() + tCl_;
+        Tick enq = events_.now();
+        events_.schedule(when, [this, callback, data, when, enq]() {
+            readLatencyNs.sample(ticksToNs(when - enq));
+            callback(data, when);
+        });
+        return;
+    }
+
+    // Merge with a pending read of the same line (controller MSHR).
+    for (auto &entry : readQueue_) {
+        if (entry.addr == phys && entry.kind == ReadKind::Data) {
+            entry.callbacks.push_back(std::move(callback));
+            return;
+        }
+    }
+
+    ReadEntry entry;
+    entry.id = nextId_++;
+    entry.addr = phys;
+    entry.kind = ReadKind::Data;
+    entry.enqueueTick = events_.now();
+    entry.loc = loc;
+    entry.callbacks.push_back(std::move(callback));
+    readQueue_.push_back(std::move(entry));
+    requestSchedule();
+}
+
+void
+MemoryController::enqueueWrite(Addr lineAddr, const LineData &data)
+{
+    ladder_assert(canAcceptWrite(), "write queue overflow");
+    Addr phys = physAddr(lineAddr);
+    BlockLocation loc = map_.decode(phys);
+    ladder_assert(loc.channel == channel_,
+                  "write for channel %u routed to controller %u",
+                  loc.channel, channel_);
+
+    // Coalesce with a queued (not yet dispatched) write.
+    for (auto &entry : writeQueue_) {
+        if (entry.addr == phys && !entry.isMetadataWrite) {
+            entry.data = data;
+            entry.physData = scheme_->encodeData(phys, data);
+            return;
+        }
+    }
+
+    WriteEntry entry;
+    entry.id = nextId_++;
+    entry.addr = phys;
+    entry.data = data;
+    entry.loc = loc;
+    entry.enqueueTick = events_.now();
+    // Hook first: wear-leveling decorators may advance per-line state
+    // that the encoding depends on.
+    scheme_->onWriteEnqueued(*this, entry);
+    entry.physData = scheme_->encodeData(phys, data);
+
+    if (entry.needsSmb) {
+        entry.smbReady = false;
+        ReadEntry smb;
+        smb.id = nextId_++;
+        smb.addr = phys;
+        smb.kind = ReadKind::StaleBlock;
+        smb.enqueueTick = events_.now();
+        smb.loc = loc;
+        smb.writeId = entry.id;
+        internalReads_.push_back(std::move(smb));
+        ++smbReads;
+    }
+    handleMetadataNeeds(entry);
+    writeQueue_.push_back(std::move(entry));
+    requestSchedule();
+}
+
+void
+MemoryController::injectWrite(Addr lineAddr, const LineData &data)
+{
+    Addr phys = physAddr(lineAddr);
+    BlockLocation loc = map_.decode(phys);
+    WriteEntry entry;
+    entry.id = nextId_++;
+    entry.addr = phys;
+    entry.data = data;
+    entry.loc = loc;
+    entry.enqueueTick = events_.now();
+    // Hook first: wear-leveling decorators may advance per-line state
+    // that the encoding depends on.
+    scheme_->onWriteEnqueued(*this, entry);
+    entry.physData = scheme_->encodeData(phys, data);
+    if (entry.needsSmb) {
+        entry.smbReady = false;
+        ReadEntry smb;
+        smb.id = nextId_++;
+        smb.addr = phys;
+        smb.kind = ReadKind::StaleBlock;
+        smb.enqueueTick = events_.now();
+        smb.loc = loc;
+        smb.writeId = entry.id;
+        internalReads_.push_back(std::move(smb));
+        ++smbReads;
+    }
+    handleMetadataNeeds(entry);
+    writeQueue_.push_back(std::move(entry));
+    requestSchedule();
+}
+
+void
+MemoryController::handleMetadataNeeds(WriteEntry &entry)
+{
+    for (Addr metaAddr : entry.metaAddrs) {
+        // A fill already on its way? Join it.
+        bool joined = false;
+        for (auto &fill : pendingFills_) {
+            if (fill.metaAddr == metaAddr) {
+                fill.waitingWrites.push_back(entry.id);
+                ++entry.metaPending;
+                joined = true;
+                break;
+            }
+        }
+        if (joined)
+            continue;
+
+        MetaLookup result = metaCache_.lookupForWrite(metaAddr);
+        if (result == MetaLookup::Hit)
+            continue; // sharer counted inside the cache
+        PendingMetaFill fill;
+        fill.metaAddr = metaAddr;
+        fill.waitingWrites.push_back(entry.id);
+        ++entry.metaPending;
+        if (result == MetaLookup::Miss) {
+            fill.issued = true;
+            pendingFills_.push_back(fill);
+            issueMetaFill(pendingFills_.back());
+        } else {
+            // Every way pinned: park in the spill buffer.
+            fill.issued = false;
+            pendingFills_.push_back(fill);
+            spillBuffer_.push_back(metaAddr);
+            ++spillInsertions;
+            ladder_assert(spillBuffer_.size() <=
+                              cfg_.spillBufferEntries * 4,
+                          "spill buffer runaway");
+        }
+    }
+}
+
+void
+MemoryController::issueMetaFill(PendingMetaFill &fill)
+{
+    ReadEntry meta;
+    meta.id = nextId_++;
+    meta.addr = fill.metaAddr;
+    meta.kind = ReadKind::Metadata;
+    meta.enqueueTick = events_.now();
+    meta.loc = map_.decode(fill.metaAddr);
+    internalReads_.push_back(std::move(meta));
+    ++metadataReads;
+    requestSchedule();
+}
+
+void
+MemoryController::retrySpills()
+{
+    for (std::size_t i = 0; i < spillBuffer_.size();) {
+        Addr metaAddr = spillBuffer_[i];
+        if (!metaCache_.canAllocate(metaAddr)) {
+            ++i;
+            continue;
+        }
+        for (auto &fill : pendingFills_) {
+            if (fill.metaAddr == metaAddr && !fill.issued) {
+                fill.issued = true;
+                issueMetaFill(fill);
+                break;
+            }
+        }
+        spillBuffer_.erase(spillBuffer_.begin() +
+                           static_cast<long>(i));
+    }
+}
+
+void
+MemoryController::enqueueMetadataWrite(Addr metaAddr)
+{
+    WriteEntry entry;
+    entry.id = nextId_++;
+    entry.addr = metaAddr;
+    entry.loc = map_.decode(metaAddr);
+    entry.enqueueTick = events_.now();
+    entry.isMetadataWrite = true;
+    metaWrites_.push_back(std::move(entry));
+    requestSchedule();
+}
+
+WriteEntry *
+MemoryController::findWrite(std::uint64_t id)
+{
+    for (auto &entry : writeQueue_) {
+        if (entry.id == id)
+            return &entry;
+    }
+    return nullptr;
+}
+
+void
+MemoryController::requestSchedule()
+{
+    if (schedulePending_)
+        return;
+    schedulePending_ = true;
+    events_.schedule(events_.now(), [this]() {
+        schedulePending_ = false;
+        runSchedule();
+    });
+}
+
+void
+MemoryController::updateMode()
+{
+    std::size_t high = static_cast<std::size_t>(
+        cfg_.drainHighWatermark * cfg_.writeQueueEntries);
+    std::size_t low = static_cast<std::size_t>(
+        cfg_.drainLowWatermark * cfg_.writeQueueEntries);
+    if (!drainMode_) {
+        bool forced = writeQueue_.size() >= high;
+        bool opportunistic = readQueue_.empty() &&
+                             (!writeQueue_.empty() ||
+                              !metaWrites_.empty());
+        if (forced || opportunistic) {
+            drainMode_ = true;
+            ++drainEntries;
+        }
+    } else {
+        bool drained = writeQueue_.size() <= low && metaWrites_.empty();
+        bool readsWaiting = !readQueue_.empty();
+        if (drained && readsWaiting)
+            drainMode_ = false;
+        else if (writeQueue_.empty() && metaWrites_.empty())
+            drainMode_ = false;
+    }
+}
+
+void
+MemoryController::runSchedule()
+{
+    updateMode();
+    while (true) {
+        // Command-issue rate limiting (one command per tBURST).
+        if (lastIssueTick_ != 0 &&
+            events_.now() < lastIssueTick_ + tBurst_) {
+            Tick when = lastIssueTick_ + tBurst_;
+            events_.schedule(when, [this]() { requestSchedule(); });
+            return;
+        }
+        bool progress = false;
+        if (drainMode_) {
+            progress = issueOneWrite();
+            if (!progress)
+                progress = issueOneInternal();
+            // Don't idle the channel while queued writes wait on
+            // their metadata/SMB reads: let demand reads through.
+            if (!progress)
+                progress = issueOneRead(readQueue_);
+        } else {
+            progress = issueOneRead(readQueue_);
+            if (!progress)
+                progress = issueOneInternal();
+        }
+        if (!progress)
+            break;
+        updateMode();
+    }
+}
+
+bool
+MemoryController::issueOneRead(std::deque<ReadEntry> &queue)
+{
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        ReadEntry &entry = queue[i];
+        unsigned bank = bankIndex(entry.loc);
+        if (bankBusyUntil_[bank] > events_.now())
+            continue;
+        ReadEntry taken = std::move(entry);
+        queue.erase(queue.begin() + static_cast<long>(i));
+        Tick busy = events_.now() + tRcd_ + tCl_;
+        bankBusyUntil_[bank] = busy;
+        lastIssueTick_ = events_.now();
+        Tick respond = busy + tBurst_;
+        readEnergyPj += cfg_.readEnergyPj;
+        bool wasFull = queue.size() + 1 >= cfg_.readQueueEntries;
+        events_.schedule(respond,
+                         [this, e = std::move(taken), respond]() mutable {
+                             completeRead(std::move(e), respond);
+                         });
+        if (&queue == &readQueue_ && wasFull)
+            notifyRetry();
+        return true;
+    }
+    return false;
+}
+
+bool
+MemoryController::issueOneInternal()
+{
+    return issueOneRead(internalReads_);
+}
+
+void
+MemoryController::completeRead(ReadEntry entry, Tick when)
+{
+    switch (entry.kind) {
+      case ReadKind::Data: {
+        LineData logical = readLogical(entry.addr);
+        readLatencyNs.sample(ticksToNs(when - entry.enqueueTick));
+        for (auto &cb : entry.callbacks)
+            cb(logical, when);
+        break;
+      }
+      case ReadKind::Metadata: {
+        auto it = std::find_if(pendingFills_.begin(),
+                               pendingFills_.end(),
+                               [&](const PendingMetaFill &f) {
+                                   return f.metaAddr == entry.addr &&
+                                          f.issued;
+                               });
+        if (it == pendingFills_.end())
+            break; // stale fill (shouldn't happen)
+        Addr victim = invalidAddr;
+        unsigned sharers =
+            static_cast<unsigned>(it->waitingWrites.size());
+        if (!metaCache_.insert(entry.addr, sharers, victim)) {
+            // All ways got pinned while the fill was in flight; retry
+            // through the spill path.
+            it->issued = false;
+            spillBuffer_.push_back(entry.addr);
+            ++spillInsertions;
+            break;
+        }
+        if (victim != invalidAddr)
+            enqueueMetadataWrite(victim);
+        for (std::uint64_t id : it->waitingWrites) {
+            if (WriteEntry *w = findWrite(id)) {
+                ladder_assert(w->metaPending > 0,
+                              "metadata fill underflow");
+                --w->metaPending;
+            }
+        }
+        pendingFills_.erase(it);
+        break;
+      }
+      case ReadKind::StaleBlock: {
+        if (WriteEntry *w = findWrite(entry.writeId)) {
+            w->smbData = store_.read(entry.addr);
+            w->smbReady = true;
+        }
+        break;
+      }
+    }
+    requestSchedule();
+}
+
+double
+MemoryController::metadataWriteLatencyNs(const BlockLocation &loc,
+                                         double &powerMw) const
+{
+    // Metadata blocks have no LRS counters of their own: downgrade to
+    // the location-only (content worst-cased) model (paper §3.3).
+    const TimingEntry &entry = timing_.location.lookup(
+        loc.wordline, loc.worstBitline(), 0);
+    powerMw = entry.powerMw;
+    return entry.latencyNs;
+}
+
+bool
+MemoryController::issueOneWrite()
+{
+    // Metadata writebacks first: they unblock metadata cache fills.
+    for (std::size_t i = 0; i < metaWrites_.size(); ++i) {
+        WriteEntry &entry = metaWrites_[i];
+        unsigned bank = bankIndex(entry.loc);
+        if (bankBusyUntil_[bank] > events_.now())
+            continue;
+        WriteEntry taken = std::move(entry);
+        metaWrites_.erase(metaWrites_.begin() + static_cast<long>(i));
+        double powerMw = 0.0;
+        double latencyNs = metadataWriteLatencyNs(taken.loc, powerMw);
+        Tick busy = events_.now() + tRcd_ + nsToTicks(latencyNs);
+        bankBusyUntil_[bank] = busy;
+        lastIssueTick_ = events_.now();
+        events_.schedule(
+            busy, [this, e = std::move(taken), latencyNs, powerMw,
+                   busy]() mutable {
+                completeWrite(std::move(e), latencyNs, powerMw, busy);
+            });
+        return true;
+    }
+
+    // Data writes: oldest fully-ready entry with a free bank.
+    for (std::size_t i = 0; i < writeQueue_.size(); ++i) {
+        WriteEntry &entry = writeQueue_[i];
+        if (!entry.ready())
+            continue;
+        unsigned bank = bankIndex(entry.loc);
+        if (bankBusyUntil_[bank] > events_.now())
+            continue;
+        // Same-address ordering: a write must not overtake an older
+        // pending read of the same block.
+        bool hazard = false;
+        for (const ReadEntry &read : readQueue_) {
+            if (read.addr == entry.addr && read.id < entry.id) {
+                hazard = true;
+                break;
+            }
+        }
+        if (hazard)
+            continue;
+
+        WriteEntry taken = std::move(entry);
+        writeQueue_.erase(writeQueue_.begin() + static_cast<long>(i));
+
+        // Flip-N-Write against the currently stored bits.
+        FnwMode mode = cfg_.fnwMode;
+        if (mode != FnwMode::Off && scheme_->constrainedFnw())
+            mode = FnwMode::Constrained;
+        const LineData &stored = store_.read(taken.addr);
+        FnwDecision fnw = fnwDecide(stored, taken.physData, mode);
+        if (fnw.flip)
+            ++fnwFlips;
+        if (fnw.flipCancelled)
+            ++fnwCancelled;
+
+        WriteDecision decision =
+            scheme_->decideWrite(*this, taken, fnw.data);
+        // Energy uses the scheme-independent content-true power model
+        // so Fig. 17 comparisons are fair across schemes.
+        if (!timing_.power.empty()) {
+            unsigned trueCw =
+                store_.maxMatLrsCount(taken.loc.pageIndex);
+            unsigned trueCbl = store_.maxSelectedBitlineLrs(taken.addr);
+            decision.powerMw =
+                timing_.power.lookup(taken.loc.wordline,
+                                     taken.loc.worstBitline(), trueCw,
+                                     trueCbl) *
+                decision.powerScale;
+        }
+
+        Tick busy = events_.now() + tRcd_ + nsToTicks(decision.latencyNs);
+        bankBusyUntil_[bank] = busy;
+        lastIssueTick_ = events_.now();
+        writeQueueTimeNs.sample(
+            ticksToNs(events_.now() - taken.enqueueTick));
+        inFlightWrites_[taken.addr] = taken.data;
+        bool wasFull =
+            writeQueue_.size() + 1 >= cfg_.writeQueueEntries;
+        taken.schemeScratch = fnw.flip ? 1u : 0u;
+        taken.physData = fnw.data;
+        events_.schedule(
+            busy, [this, e = std::move(taken),
+                   latencyNs = decision.latencyNs,
+                   powerMw = decision.powerMw, busy]() mutable {
+                completeWrite(std::move(e), latencyNs, powerMw, busy);
+            });
+        if (wasFull)
+            notifyRetry();
+        return true;
+    }
+    return false;
+}
+
+void
+MemoryController::completeWrite(WriteEntry entry, double latencyNs,
+                                double powerMw, Tick when)
+{
+    (void)when;
+    double energyPj = powerMw * latencyNs;
+    if (entry.isMetadataWrite) {
+        ++metadataWrites;
+        metaWriteEnergyPj += energyPj;
+        writeEnergyPj += energyPj;
+        ++pageWrites_[entry.addr / MemoryGeometry::pageBytes];
+    } else {
+        store_.setFlipped(entry.addr, entry.schemeScratch != 0);
+        BitTransitions t = store_.write(entry.addr, entry.physData);
+        cellResets += t.resets;
+        cellSets += t.sets;
+        energyPj += (t.resets + t.sets) * cfg_.transitionEnergyPj;
+        ++dataWrites;
+        dataWriteEnergyPj += energyPj;
+        writeEnergyPj += energyPj;
+        writeServiceNs.sample(cfg_.tRcdNs + latencyNs);
+        writeLatencyOnlyNs.sample(latencyNs);
+        ++pageWrites_[entry.addr / MemoryGeometry::pageBytes];
+        inFlightWrites_.erase(entry.addr);
+
+        scheme_->onWriteComplete(*this, entry);
+        for (Addr metaAddr : entry.metaAddrs) {
+            if (metaCache_.contains(metaAddr))
+                metaCache_.releaseSharer(metaAddr);
+        }
+        retrySpills();
+
+        if (remapper_ && !entry.isRemapCopy) {
+            remapper_->noteDataWrite(entry.addr);
+            for (const RemapMove &move : remapper_->collectMoves()) {
+                // Copy the line: logical content out of the old slot,
+                // rewritten (re-encoded) into the new physical slot.
+                LineData logical = readLogical(move.from);
+                injectPhysicalWrite(move.to, logical);
+            }
+        }
+    }
+    requestSchedule();
+}
+
+void
+MemoryController::injectPhysicalWrite(Addr physTo, const LineData &data)
+{
+    BlockLocation loc = map_.decode(physTo);
+    WriteEntry entry;
+    entry.id = nextId_++;
+    entry.addr = physTo;
+    entry.data = data;
+    entry.loc = loc;
+    entry.enqueueTick = events_.now();
+    entry.isRemapCopy = true;
+    scheme_->onWriteEnqueued(*this, entry);
+    entry.physData = scheme_->encodeData(physTo, data);
+    if (entry.needsSmb) {
+        entry.smbReady = false;
+        ReadEntry smb;
+        smb.id = nextId_++;
+        smb.addr = physTo;
+        smb.kind = ReadKind::StaleBlock;
+        smb.enqueueTick = events_.now();
+        smb.loc = loc;
+        smb.writeId = entry.id;
+        internalReads_.push_back(std::move(smb));
+        ++smbReads;
+    }
+    handleMetadataNeeds(entry);
+    writeQueue_.push_back(std::move(entry));
+    requestSchedule();
+}
+
+} // namespace ladder

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * The per-channel ReRAM memory controller (paper Fig. 5/6, Table 2).
+ *
+ * Responsibilities:
+ *  - 32-entry read queue and 64-entry write queue with write-drain
+ *    mode switching at the 85% high-water mark;
+ *  - bank timing (tRCD/tCL/tBURST, variable tWR from the active
+ *    write scheme);
+ *  - internal reads on behalf of schemes: LRS-metadata line fills and
+ *    stale-memory-block (SMB) reads, which contend with demand reads
+ *    for banks but are tracked separately;
+ *  - the LRS-metadata cache with sharer pinning and the spill buffer;
+ *  - Flip-N-Write at dispatch;
+ *  - energy and service-time accounting for every operation class.
+ */
+
+#ifndef LADDER_CTRL_CONTROLLER_HH
+#define LADDER_CTRL_CONTROLLER_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "ctrl/fnw.hh"
+#include "ctrl/metadata_cache.hh"
+#include "ctrl/scheme.hh"
+#include "mem/backing_store.hh"
+#include "mem/request.hh"
+#include "reram/timing_tables.hh"
+
+namespace ladder
+{
+
+/** A line copy a wear-leveling step requires (physical addresses). */
+struct RemapMove
+{
+    Addr from = invalidAddr;
+    Addr to = invalidAddr;
+};
+
+/** Remaps line addresses ahead of decode (wear-leveling hook). */
+class AddressRemapper
+{
+  public:
+    virtual ~AddressRemapper() = default;
+    /** Physical line address after remapping. */
+    virtual Addr remap(Addr lineAddr) = 0;
+    /** Observe a serviced data write (drives remap epochs). */
+    virtual void noteDataWrite(Addr physLineAddr) { (void)physLineAddr; }
+    /** Line copies the controller must perform for pending remaps. */
+    virtual std::vector<RemapMove> collectMoves() { return {}; }
+};
+
+/** Controller configuration (paper Table 2 defaults). */
+struct ControllerConfig
+{
+    unsigned readQueueEntries = 32;
+    unsigned writeQueueEntries = 64;
+    double drainHighWatermark = 0.85;
+    double drainLowWatermark = 0.5;
+    double tRcdNs = 13.75;
+    double tClNs = 13.75;
+    double tBurstNs = 5.0;
+    /**
+     * Concurrent accesses per bank to distinct mat-group subarrays
+     * (the paper's banks hold 4 x 64-mat groups sharing peripheral
+     * logic; accesses to different groups overlap).
+     */
+    unsigned subarraysPerBank = 4;
+    std::size_t metadataCacheBytes = 64 * 1024;
+    unsigned metadataCacheWays = 4;
+    unsigned spillBufferEntries = 16;
+    FnwMode fnwMode = FnwMode::Classical;
+    double readEnergyPj = 250.0;   //!< per demand/metadata/SMB read
+    double transitionEnergyPj = 1.0; //!< per cell switched
+};
+
+/** Per-channel memory controller. */
+class MemoryController
+{
+  public:
+    MemoryController(EventQueue &events, const ControllerConfig &cfg,
+                     const MemoryGeometry &geo, unsigned channel,
+                     BackingStore &store, const TimingModel &timing,
+                     std::shared_ptr<WriteScheme> scheme);
+
+    // ------------------------------------------------------------------
+    // Processor-side interface
+    // ------------------------------------------------------------------
+
+    bool canAcceptRead() const;
+    bool canAcceptWrite() const;
+
+    /**
+     * Enqueue a demand read.
+     * @pre canAcceptRead()
+     */
+    void enqueueRead(Addr lineAddr, ReadCallback callback);
+
+    /**
+     * Enqueue a (posted) data write.
+     * @pre canAcceptWrite()
+     */
+    void enqueueWrite(Addr lineAddr, const LineData &data);
+
+    /** Notified whenever queue space frees up. */
+    void addRetryListener(std::function<void()> listener);
+
+    /**
+     * Timing-free (functional) accesses used for cache warmup: they
+     * move real data through encode/FNW/store exactly like timed
+     * operations but produce no events, queue activity, or stats.
+     */
+    LineData functionalRead(Addr lineAddr);
+    void functionalWrite(Addr lineAddr, const LineData &data);
+
+    // ------------------------------------------------------------------
+    // Scheme-facing interface
+    // ------------------------------------------------------------------
+
+    BackingStore &store() { return store_; }
+    const TimingModel &timing() const { return timing_; }
+    MetadataCache &metadataCache() { return metaCache_; }
+    const MemoryGeometry &geometry() const { return geo_; }
+    const AddressMap &addressMap() const { return map_; }
+    EventQueue &events() { return events_; }
+
+    /** Install a wear-leveling remapper (nullptr = identity). */
+    void setRemapper(AddressRemapper *remapper) { remapper_ = remapper; }
+
+    /**
+     * Enqueue a metadata writeback (bypasses the data write queue cap
+     * via an overflow list so fills can always evict).
+     */
+    void enqueueMetadataWrite(Addr metaAddr);
+
+    /**
+     * Inject extra write traffic that bypasses queue admission (used
+     * by wear-leveling segment swaps). Accounted as data writes.
+     */
+    void injectWrite(Addr lineAddr, const LineData &data);
+
+    /**
+     * Inject a write to an already-physical address (no remapping);
+     * used for wear-leveling line copies.
+     */
+    void injectPhysicalWrite(Addr physTo, const LineData &data);
+
+    // ------------------------------------------------------------------
+    // Statistics
+    // ------------------------------------------------------------------
+
+    StatScalar dataReads, metadataReads, smbReads;
+    StatScalar dataWrites, metadataWrites;
+    StatScalar fnwFlips, fnwCancelled;
+    StatScalar drainEntries;
+    StatScalar spillInsertions;
+    StatAverage readLatencyNs;     //!< demand reads: queue + service
+    StatAverage writeServiceNs;    //!< data writes: tRCD + tWR
+    StatAverage writeLatencyOnlyNs; //!< data writes: tWR only
+    StatAverage writeQueueTimeNs;
+    StatScalar readEnergyPj, writeEnergyPj;
+    StatScalar dataWriteEnergyPj, metaWriteEnergyPj;
+    StatScalar cellResets, cellSets;
+
+    /** Register all stats into @p group. */
+    void regStats(StatGroup &group);
+
+    /** Per-page write counts (lifetime analysis). */
+    const std::unordered_map<std::uint64_t, std::uint32_t> &
+    pageWriteCounts() const
+    {
+        return pageWrites_;
+    }
+
+    /** Demand reads currently outstanding (for drain decisions). */
+    std::size_t pendingReads() const { return readQueue_.size(); }
+    std::size_t pendingWrites() const { return writeQueue_.size(); }
+
+    const WriteScheme &scheme() const { return *scheme_; }
+
+  private:
+    struct ReadEntry
+    {
+        std::uint64_t id;
+        Addr addr;
+        ReadKind kind;
+        Tick enqueueTick;
+        BlockLocation loc;
+        std::vector<ReadCallback> callbacks; //!< demand reads
+        std::uint64_t writeId = 0;           //!< SMB: dependent write
+    };
+
+    struct PendingMetaFill
+    {
+        Addr metaAddr;
+        std::vector<std::uint64_t> waitingWrites;
+        bool issued = false;
+    };
+
+    EventQueue &events_;
+    ControllerConfig cfg_;
+    MemoryGeometry geo_;
+    AddressMap map_;
+    unsigned channel_;
+    BackingStore &store_;
+    const TimingModel &timing_;
+    std::shared_ptr<WriteScheme> scheme_;
+    MetadataCache metaCache_;
+    AddressRemapper *remapper_ = nullptr;
+
+    std::deque<ReadEntry> readQueue_;      //!< demand reads
+    std::deque<ReadEntry> internalReads_;  //!< metadata + SMB reads
+    std::deque<WriteEntry> writeQueue_;    //!< data writes
+    std::deque<WriteEntry> metaWrites_;    //!< metadata writebacks
+    std::deque<Addr> spillBuffer_;         //!< blocked metadata fills
+    std::vector<PendingMetaFill> pendingFills_;
+
+    std::vector<Tick> bankBusyUntil_; //!< per (rank, bank) in channel
+    Tick lastIssueTick_ = 0;
+    bool drainMode_ = false;
+    bool schedulePending_ = false;
+    std::uint64_t nextId_ = 1;
+    std::vector<std::function<void()>> retryListeners_;
+    std::unordered_map<std::uint64_t, std::uint32_t> pageWrites_;
+    std::unordered_map<Addr, LineData> inFlightWrites_;
+
+    Tick tRcd_, tCl_, tBurst_;
+
+    Addr physAddr(Addr lineAddr);
+    unsigned bankIndex(const BlockLocation &loc) const;
+    void requestSchedule();
+    void runSchedule();
+    void updateMode();
+    bool issueOneRead(std::deque<ReadEntry> &queue);
+    bool issueOneWrite();
+    bool issueOneInternal();
+    WriteEntry *findWrite(std::uint64_t id);
+    void completeRead(ReadEntry entry, Tick when);
+    void completeWrite(WriteEntry entry, double latencyNs,
+                       double powerMw, Tick when);
+    void handleMetadataNeeds(WriteEntry &entry);
+    void issueMetaFill(PendingMetaFill &fill);
+    void retrySpills();
+    void notifyRetry();
+    LineData readLogical(Addr physLineAddr);
+    double metadataWriteLatencyNs(const BlockLocation &loc,
+                                  double &powerMw) const;
+};
+
+} // namespace ladder
+
+#endif // LADDER_CTRL_CONTROLLER_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Flip-N-Write (Cho & Lee, MICRO'09) and LADDER's counting-safe variant
+ * (paper §3.3).
+ *
+ * Classical FNW writes either the data or its complement, whichever
+ * changes fewer cells relative to the currently stored bits. LADDER
+ * adds the constraint that the chosen variant must not contain more
+ * '1's than the unflipped data, so the controller-maintained LRS
+ * counters (which are upper bounds) stay sound.
+ */
+
+#ifndef LADDER_CTRL_FNW_HH
+#define LADDER_CTRL_FNW_HH
+
+#include "common/bitops.hh"
+
+namespace ladder
+{
+
+/** Outcome of an FNW decision. */
+struct FnwDecision
+{
+    bool flip = false;          //!< write the complement
+    LineData data{};            //!< the variant actually written
+    unsigned transitions = 0;   //!< bit changes vs. stored content
+    unsigned resets = 0;        //!< 1 -> 0 changes (RESET operations)
+    unsigned sets = 0;          //!< 0 -> 1 changes (SET operations)
+    bool flipCancelled = false; //!< flip was beneficial but vetoed by
+                                //!< the LADDER counting constraint
+};
+
+/** FNW policy flavour. */
+enum class FnwMode
+{
+    Off,        //!< always write the data as-is
+    Classical,  //!< minimize transitions
+    Constrained //!< minimize transitions unless '1's would increase
+};
+
+/**
+ * Decide what to write for @p data given the currently @p stored bits.
+ *
+ * @param stored Raw bits currently in the crossbar.
+ * @param data Raw bits the controller wants stored (post-encoding).
+ * @param mode Policy flavour.
+ */
+FnwDecision fnwDecide(const LineData &stored, const LineData &data,
+                      FnwMode mode);
+
+} // namespace ladder
+
+#endif // LADDER_CTRL_FNW_HH

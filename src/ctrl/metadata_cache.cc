@@ -1,0 +1,168 @@
+#include "metadata_cache.hh"
+
+#include "common/log.hh"
+
+namespace ladder
+{
+
+MetadataCache::MetadataCache(std::size_t sizeBytes, unsigned ways)
+    : ways_(ways)
+{
+    ladder_assert(ways > 0, "metadata cache needs at least one way");
+    std::size_t entries = sizeBytes / lineBytes;
+    ladder_assert(entries >= ways && entries % ways == 0,
+                  "metadata cache size/ways mismatch");
+    sets_ = static_cast<unsigned>(entries / ways);
+    lines_.resize(entries);
+}
+
+unsigned
+MetadataCache::setIndex(Addr metaAddr) const
+{
+    // XOR-folded index: metadata line numbers carry the channel and
+    // bank interleaving in their low bits, so a plain modulo would
+    // leave a per-controller stride pattern that uses only a fraction
+    // of the sets.
+    std::uint64_t line = metaAddr / lineBytes;
+    line ^= line >> 8;
+    line ^= line >> 16;
+    return static_cast<unsigned>(line % sets_);
+}
+
+MetadataCache::Way *
+MetadataCache::find(Addr metaAddr)
+{
+    unsigned set = setIndex(metaAddr);
+    for (unsigned w = 0; w < ways_; ++w) {
+        Way &way = lines_[set * ways_ + w];
+        if (way.valid && way.addr == metaAddr)
+            return &way;
+    }
+    return nullptr;
+}
+
+const MetadataCache::Way *
+MetadataCache::find(Addr metaAddr) const
+{
+    return const_cast<MetadataCache *>(this)->find(metaAddr);
+}
+
+bool
+MetadataCache::contains(Addr metaAddr) const
+{
+    return find(metaAddr) != nullptr;
+}
+
+MetaLookup
+MetadataCache::lookupForWrite(Addr metaAddr)
+{
+    Way *way = find(metaAddr);
+    if (way) {
+        ++hits;
+        ++way->sharers;
+        way->lastUse = ++useCounter_;
+        return MetaLookup::Hit;
+    }
+    ++misses;
+    if (canAllocate(metaAddr))
+        return MetaLookup::Miss;
+    ++blockedLookups;
+    return MetaLookup::Blocked;
+}
+
+bool
+MetadataCache::canAllocate(Addr metaAddr) const
+{
+    unsigned set = setIndex(metaAddr);
+    for (unsigned w = 0; w < ways_; ++w) {
+        const Way &way = lines_[set * ways_ + w];
+        if (!way.valid || way.sharers == 0)
+            return true;
+    }
+    return false;
+}
+
+bool
+MetadataCache::insert(Addr metaAddr, unsigned sharers,
+                      Addr &evictedDirty)
+{
+    evictedDirty = invalidAddr;
+    if (Way *existing = find(metaAddr)) {
+        // Raced with another fill for the same line.
+        existing->sharers += sharers;
+        existing->lastUse = ++useCounter_;
+        return true;
+    }
+    unsigned set = setIndex(metaAddr);
+    Way *victim = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Way &way = lines_[set * ways_ + w];
+        if (!way.valid) {
+            victim = &way;
+            break;
+        }
+        if (way.sharers != 0)
+            continue;
+        if (!victim || way.lastUse < victim->lastUse)
+            victim = &way;
+    }
+    if (!victim)
+        return false;
+    if (victim->valid && victim->dirty) {
+        evictedDirty = victim->addr;
+        ++dirtyEvictions;
+    }
+    victim->addr = metaAddr;
+    victim->valid = true;
+    victim->dirty = false;
+    victim->sharers = sharers;
+    victim->lastUse = ++useCounter_;
+    ++insertions;
+    return true;
+}
+
+void
+MetadataCache::markDirty(Addr metaAddr)
+{
+    Way *way = find(metaAddr);
+    ladder_assert(way, "markDirty: line 0x%llx not resident",
+                  static_cast<unsigned long long>(metaAddr));
+    way->dirty = true;
+    way->lastUse = ++useCounter_;
+}
+
+void
+MetadataCache::addSharer(Addr metaAddr, unsigned count)
+{
+    Way *way = find(metaAddr);
+    ladder_assert(way, "addSharer: line 0x%llx not resident",
+                  static_cast<unsigned long long>(metaAddr));
+    way->sharers += count;
+}
+
+void
+MetadataCache::releaseSharer(Addr metaAddr)
+{
+    Way *way = find(metaAddr);
+    ladder_assert(way, "releaseSharer: line 0x%llx not resident",
+                  static_cast<unsigned long long>(metaAddr));
+    ladder_assert(way->sharers > 0, "releaseSharer: underflow");
+    --way->sharers;
+}
+
+std::vector<Addr>
+MetadataCache::flushDirty()
+{
+    std::vector<Addr> dirty;
+    for (auto &way : lines_) {
+        if (way.valid && way.dirty)
+            dirty.push_back(way.addr);
+        way.valid = false;
+        way.dirty = false;
+        way.sharers = 0;
+        way.addr = invalidAddr;
+    }
+    return dirty;
+}
+
+} // namespace ladder

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The on-chip LRS-metadata cache (paper §3.3): a small set-associative
+ * cache of metadata *lines* held in the memory controller. Each tag
+ * carries a Sharer count S — the number of write-queue entries whose
+ * latency determination depends on that metadata line — so that lines
+ * still needed by queued writes are never victimized. When every way
+ * of a set is pinned by sharers, the requesting write is parked in the
+ * spill buffer until a way becomes evictable.
+ *
+ * The cache models presence, recency, dirtiness and sharers; metadata
+ * *values* are maintained by the scheme that owns them.
+ */
+
+#ifndef LADDER_CTRL_METADATA_CACHE_HH
+#define LADDER_CTRL_METADATA_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace ladder
+{
+
+/** Result of a metadata cache lookup. */
+enum class MetaLookup
+{
+    Hit,      //!< line present
+    Miss,     //!< line absent, a victim way is available
+    Blocked,  //!< line absent and every way pinned by sharers
+};
+
+/** Set-associative sharer-aware metadata cache. */
+class MetadataCache
+{
+  public:
+    /**
+     * @param sizeBytes Total capacity (64KB in the paper).
+     * @param ways Associativity (4 in the paper).
+     */
+    MetadataCache(std::size_t sizeBytes, unsigned ways);
+
+    /** Probe without side effects. */
+    bool contains(Addr metaAddr) const;
+
+    /**
+     * Look up @p metaAddr for a new dependent write. On a hit the
+     * sharer count is incremented and recency updated.
+     */
+    MetaLookup lookupForWrite(Addr metaAddr);
+
+    /**
+     * Insert a line after its memory fill returned.
+     *
+     * @param sharers Initial sharer count (waiting writes).
+     * @param evictedDirty Out: address of a dirty victim that must be
+     *        written back, or invalidAddr.
+     * @return false when no way could be freed (caller must retry).
+     */
+    bool insert(Addr metaAddr, unsigned sharers, Addr &evictedDirty);
+
+    /** Whether a set currently has an evictable (S == 0) way. */
+    bool canAllocate(Addr metaAddr) const;
+
+    /** Mark a resident line dirty (metadata updated in place). */
+    void markDirty(Addr metaAddr);
+
+    /** Add sharers to a resident line. */
+    void addSharer(Addr metaAddr, unsigned count = 1);
+
+    /** Release one sharer after the dependent write dispatched. */
+    void releaseSharer(Addr metaAddr);
+
+    /** Writes back and invalidates everything (drain/shutdown). */
+    std::vector<Addr> flushDirty();
+
+    unsigned sets() const { return sets_; }
+    unsigned ways() const { return ways_; }
+
+    StatScalar hits;
+    StatScalar misses;
+    StatScalar insertions;
+    StatScalar dirtyEvictions;
+    StatScalar blockedLookups;
+
+  private:
+    struct Way
+    {
+        Addr addr = invalidAddr;
+        bool valid = false;
+        bool dirty = false;
+        unsigned sharers = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    unsigned sets_;
+    unsigned ways_;
+    std::uint64_t useCounter_ = 0;
+    std::vector<Way> lines_;
+
+    unsigned setIndex(Addr metaAddr) const;
+    Way *find(Addr metaAddr);
+    const Way *find(Addr metaAddr) const;
+};
+
+} // namespace ladder
+
+#endif // LADDER_CTRL_METADATA_CACHE_HH

@@ -1,0 +1,86 @@
+#include "hwcost.hh"
+
+#include <cmath>
+
+namespace ladder
+{
+
+namespace
+{
+
+ModuleCost
+fromGates(const std::string &name, double gates, unsigned logicDepth,
+          double activity, const TechParams &tech)
+{
+    ModuleCost cost;
+    cost.name = name;
+    cost.areaMm2 = gates * tech.nand2AreaUm2 * 1e-6;
+    cost.powerMw = gates * tech.dynPowerUwPerGate * activity * 1e-3;
+    cost.latencyNs = logicDepth * tech.gateDelayPs * 1e-3;
+    return cost;
+}
+
+} // anonymous namespace
+
+ModuleCost
+updateModuleCost(const TechParams &tech)
+{
+    // 64 byte-popcount units (~25 gates each), 4 subgroup 16-input
+    // max trees (~16 x 30 gates each), 4 quantizers and write-queue
+    // interface registers: ~7.6k NAND2 equivalents, ~9 logic levels.
+    const double gates = 64 * 25 + 4 * 16 * 30 + 4 * 40 + 4000;
+    return fromGates("LRS-metadata Update Module", gates, 9, 1.0,
+                     tech);
+}
+
+ModuleCost
+queryModuleCost(const TechParams &tech)
+{
+    // Metadata address generator (~600), 4 adder trees summing 64
+    // decoded 4-bit counters (~4 x 900), subgroup max + bucketizer
+    // (~300), table index logic (~150): ~5.9k gates, ~18 levels
+    // (adder-tree depth dominates).
+    const double gates = 600 + 4 * 900 + 300 + 150 + 1300;
+    return fromGates("Latency Query Module", gates, 18, 2.2, tech);
+}
+
+ModuleCost
+metadataCacheCost(std::size_t sizeBytes, const TechParams &tech)
+{
+    (void)tech;
+    // CACTI-7 style scaling anchored at the paper's 64KB 4-way point
+    // (0.2442 mm^2, 48.83 mW, 0.81 ns): area/power ~linear in
+    // capacity, latency ~sqrt.
+    const double refBytes = 64.0 * 1024.0;
+    double scale = static_cast<double>(sizeBytes) / refBytes;
+    ModuleCost cost;
+    cost.name = "LRS-metadata Cache (" +
+                std::to_string(sizeBytes / 1024) + "KB)";
+    cost.areaMm2 = 0.2442 * scale;
+    cost.powerMw = 48.83 * scale;
+    cost.latencyNs = 0.81 * std::sqrt(scale);
+    return cost;
+}
+
+ModuleCost
+timingTableCost(unsigned granularity, const TechParams &tech)
+{
+    // One byte per entry; SRAM-register file cost ~10 gates per bit.
+    double bytes = static_cast<double>(granularity) * granularity *
+                   granularity;
+    ModuleCost cost =
+        fromGates("Write Timing Tables", bytes * 8 * 10 / 4, 4, 0.3,
+                  tech);
+    cost.name = "Write Timing Tables (" +
+                std::to_string(static_cast<unsigned>(bytes)) + "B)";
+    return cost;
+}
+
+std::vector<ModuleCost>
+table4(const TechParams &tech)
+{
+    return {updateModuleCost(tech), queryModuleCost(tech),
+            metadataCacheCost(64 * 1024, tech)};
+}
+
+} // namespace ladder

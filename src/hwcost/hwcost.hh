@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Analytical area/power/latency model for LADDER's controller-side
+ * logic (paper Table 4). The paper synthesized the two logic blocks
+ * with Synopsys DC on FreePDK45 and modelled the metadata cache with
+ * CACTI 7; this module reproduces that accounting analytically from
+ * gate counts and standard 45nm cell characteristics, so the numbers
+ * can be re-derived and scaled (e.g. other cache sizes).
+ */
+
+#ifndef LADDER_HWCOST_HWCOST_HH
+#define LADDER_HWCOST_HWCOST_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ladder
+{
+
+/** Synthesis-style cost of one hardware block. */
+struct ModuleCost
+{
+    std::string name;
+    double areaMm2 = 0.0;
+    double powerMw = 0.0;
+    double latencyNs = 0.0;
+};
+
+/** 45nm standard-cell technology constants (FreePDK45-like). */
+struct TechParams
+{
+    double nand2AreaUm2 = 0.798;    //!< NAND2-equivalent cell area
+    double dynPowerUwPerGate = 0.5; //!< at ~2GHz toggle activity
+    double gateDelayPs = 18.0;      //!< FO4-ish delay per level
+};
+
+/**
+ * LRS-metadata Update Module: 64 parallel per-byte popcounts, the
+ * subgroup max trees and the 2-bit quantizers (paper Fig. 9a).
+ */
+ModuleCost updateModuleCost(const TechParams &tech = {});
+
+/**
+ * Latency Query Module: metadata line address generation, 4 subgroup
+ * adder trees over 64 decoded counters and the timing-table lookup
+ * (paper Fig. 9b).
+ */
+ModuleCost queryModuleCost(const TechParams &tech = {});
+
+/**
+ * LRS-metadata cache cost, CACTI-style scaling from the 64KB 4-way
+ * reference point.
+ */
+ModuleCost metadataCacheCost(std::size_t sizeBytes,
+                             const TechParams &tech = {});
+
+/** The write timing tables' on-chip buffer (512B for 8x8x8). */
+ModuleCost timingTableCost(unsigned granularity = 8,
+                           const TechParams &tech = {});
+
+/** All Table-4 rows in order. */
+std::vector<ModuleCost> table4(const TechParams &tech = {});
+
+} // namespace ladder
+
+#endif // LADDER_HWCOST_HWCOST_HH

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Request/response types exchanged between the cache hierarchy and the
+ * memory controller.
+ */
+
+#ifndef LADDER_MEM_REQUEST_HH
+#define LADDER_MEM_REQUEST_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/bitops.hh"
+#include "common/types.hh"
+
+namespace ladder
+{
+
+/** Why a read transaction exists (paper §3.3: read-type flag). */
+enum class ReadKind : unsigned char
+{
+    Data = 0,     //!< demand read on behalf of the processor
+    Metadata = 1, //!< LRS-metadata line fill
+    StaleBlock = 2, //!< stale-memory-block read (LADDER-Basic)
+};
+
+/** Completion callback for data reads: payload plus completion tick. */
+using ReadCallback = std::function<void(const LineData &, Tick)>;
+
+} // namespace ladder
+
+#endif // LADDER_MEM_REQUEST_HH

@@ -1,0 +1,307 @@
+#include "timing_tables.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "circuit/fastmodel.hh"
+#include "common/log.hh"
+
+namespace ladder
+{
+
+std::size_t
+WriteTimingTable::index(unsigned wl, unsigned bl, unsigned c) const
+{
+    return (static_cast<std::size_t>(wl) * blBuckets_ + bl) *
+               contentBuckets_ +
+           c;
+}
+
+WriteTimingTable
+WriteTimingTable::build(const CrossbarParams &params,
+                        const ResetLatencyLaw &law,
+                        const ResetEvaluator &eval, ContentDim dim,
+                        unsigned wlBuckets, unsigned blBuckets,
+                        unsigned contentBuckets)
+{
+    ladder_assert(wlBuckets > 0 && blBuckets > 0 && contentBuckets > 0,
+                  "timing table: zero buckets");
+    WriteTimingTable table;
+    table.wlBuckets_ = wlBuckets;
+    table.blBuckets_ = blBuckets;
+    table.contentBuckets_ = contentBuckets;
+    table.rows_ = static_cast<unsigned>(params.rows);
+    table.cols_ = static_cast<unsigned>(params.cols);
+    table.dim_ = dim;
+    table.contentMax_ = dim == ContentDim::Wordline
+                            ? static_cast<unsigned>(params.cols)
+                            : static_cast<unsigned>(params.rows);
+    table.entries_.resize(static_cast<std::size_t>(wlBuckets) *
+                          blBuckets * contentBuckets);
+
+    const unsigned rows = table.rows_;
+    const unsigned cols = table.cols_;
+    const unsigned slots =
+        cols / static_cast<unsigned>(params.selectedCells);
+
+    double worst = 0.0;
+    double best = std::numeric_limits<double>::max();
+    for (unsigned wb = 0; wb < wlBuckets; ++wb) {
+        // Worst (farthest-from-driver) wordline of the bucket.
+        unsigned wl = (wb + 1) * rows / wlBuckets - 1;
+        for (unsigned bb = 0; bb < blBuckets; ++bb) {
+            // Worst byte slot of the bucket.
+            unsigned slot = (bb + 1) * slots / blBuckets - 1;
+            for (unsigned cb = 0; cb < contentBuckets; ++cb) {
+                // Worst (largest) content count of the bucket.
+                unsigned count =
+                    (cb + 1) * table.contentMax_ / contentBuckets;
+                ResetCondition cond;
+                cond.wordline = wl;
+                cond.byteOffset = slot;
+                if (dim == ContentDim::Wordline) {
+                    cond.wlLrsCount = count;
+                    cond.blLrsCount =
+                        static_cast<unsigned>(params.rows);
+                } else {
+                    cond.blLrsCount = count;
+                    cond.wlLrsCount =
+                        static_cast<unsigned>(params.cols);
+                }
+                ResetEvaluation ev = eval(cond);
+                TimingEntry entry;
+                entry.latencyNs = law.latencyNs(ev.minDropVolts);
+                entry.powerMw = ev.sourcePowerWatts * 1e3;
+                table.entries_[table.index(wb, bb, cb)] = entry;
+                worst = std::max(worst, entry.latencyNs);
+                best = std::min(best, entry.latencyNs);
+            }
+        }
+    }
+    table.worstNs_ = worst;
+    table.bestNs_ = best;
+    return table;
+}
+
+const TimingEntry &
+WriteTimingTable::lookup(unsigned wordline, unsigned bitline,
+                         unsigned lrsCount) const
+{
+    ladder_assert(!entries_.empty(), "lookup on empty timing table");
+    unsigned wb = std::min(wordline * wlBuckets_ / rows_,
+                           wlBuckets_ - 1);
+    unsigned bb = std::min(bitline * blBuckets_ / cols_,
+                           blBuckets_ - 1);
+    // Content rounds *up*: a count on a bucket boundary must use the
+    // bucket whose worst-case corner covers it.
+    unsigned cb = 0;
+    if (lrsCount > 0) {
+        unsigned clamped = std::min(lrsCount, contentMax_);
+        cb = (clamped * contentBuckets_ + contentMax_ - 1) /
+                 contentMax_ -
+             1;
+        cb = std::min(cb, contentBuckets_ - 1);
+    }
+    return entries_[index(wb, bb, cb)];
+}
+
+const TimingEntry &
+WriteTimingTable::at(unsigned wlBucket, unsigned blBucket,
+                     unsigned contentBucket) const
+{
+    ladder_assert(wlBucket < wlBuckets_ && blBucket < blBuckets_ &&
+                      contentBucket < contentBuckets_,
+                  "timing table bucket out of range");
+    return entries_[index(wlBucket, blBucket, contentBucket)];
+}
+
+std::size_t
+WriteTimingTable::storageBytes() const
+{
+    // One byte encodes a latency level; the paper reports a 512B buffer
+    // for the 8x8x8 organization.
+    return entries_.size();
+}
+
+PowerTable
+PowerTable::build(const CrossbarParams &params,
+                  const ResetEvaluator &eval, unsigned buckets)
+{
+    ladder_assert(buckets > 0, "power table: zero buckets");
+    PowerTable table;
+    table.buckets_ = buckets;
+    table.rows_ = static_cast<unsigned>(params.rows);
+    table.cols_ = static_cast<unsigned>(params.cols);
+    table.power_.resize(static_cast<std::size_t>(buckets) * buckets *
+                        buckets * buckets);
+    const unsigned slots =
+        table.cols_ / static_cast<unsigned>(params.selectedCells);
+    std::size_t idx = 0;
+    for (unsigned wb = 0; wb < buckets; ++wb) {
+        unsigned wl = (2 * wb + 1) * table.rows_ / (2 * buckets);
+        for (unsigned bb = 0; bb < buckets; ++bb) {
+            unsigned slot = (2 * bb + 1) * slots / (2 * buckets);
+            for (unsigned cw = 0; cw < buckets; ++cw) {
+                unsigned wlCount =
+                    (2 * cw + 1) * table.cols_ / (2 * buckets);
+                for (unsigned cb = 0; cb < buckets; ++cb) {
+                    unsigned blCount =
+                        (2 * cb + 1) * table.rows_ / (2 * buckets);
+                    ResetCondition cond;
+                    cond.wordline = wl;
+                    cond.byteOffset = slot;
+                    cond.wlLrsCount = wlCount;
+                    cond.blLrsCount = blCount;
+                    table.power_[idx++] =
+                        eval(cond).sourcePowerWatts * 1e3;
+                }
+            }
+        }
+    }
+    return table;
+}
+
+double
+PowerTable::lookup(unsigned wordline, unsigned bitline,
+                   unsigned wlLrsCount, unsigned blLrsCount) const
+{
+    ladder_assert(!power_.empty(), "lookup on empty power table");
+    auto bucket = [this](unsigned value, unsigned max) {
+        unsigned b = value * buckets_ / (max + 1);
+        return std::min(b, buckets_ - 1);
+    };
+    unsigned wb = bucket(wordline, rows_ - 1);
+    unsigned bb = bucket(bitline, cols_ - 1);
+    unsigned cw = bucket(std::min(wlLrsCount, cols_), cols_);
+    unsigned cb = bucket(std::min(blLrsCount, rows_), rows_);
+    return power_[((static_cast<std::size_t>(wb) * buckets_ + bb) *
+                       buckets_ +
+                   cw) *
+                      buckets_ +
+                  cb];
+}
+
+const TimingModel &
+cachedTimingModel(const CrossbarParams &params, unsigned granularity,
+                  double rangeShrink)
+{
+    struct Key
+    {
+        CrossbarParams p;
+        unsigned g;
+        double s;
+
+        bool
+        operator==(const Key &o) const
+        {
+            return p.rows == o.p.rows && p.cols == o.p.cols &&
+                   p.selectedCells == o.p.selectedCells &&
+                   p.lrsOhms == o.p.lrsOhms &&
+                   p.hrsOhms == o.p.hrsOhms &&
+                   p.selectorNonlinearity ==
+                       o.p.selectorNonlinearity &&
+                   p.inputOhms == o.p.inputOhms &&
+                   p.outputOhms == o.p.outputOhms &&
+                   p.wireOhms == o.p.wireOhms &&
+                   p.writeVolts == o.p.writeVolts &&
+                   p.biasVolts == o.p.biasVolts &&
+                   p.blSneakScale == o.p.blSneakScale &&
+                   p.wlSneakScale == o.p.wlSneakScale && g == o.g &&
+                   s == o.s;
+        }
+    };
+    static std::vector<std::pair<Key, std::unique_ptr<TimingModel>>>
+        cache;
+    Key key{params, granularity, rangeShrink};
+    for (const auto &entry : cache) {
+        if (entry.first == key)
+            return *entry.second;
+    }
+    auto model = std::make_unique<TimingModel>(
+        TimingModel::generate(params, granularity, rangeShrink));
+    cache.emplace_back(key, std::move(model));
+    return *cache.back().second;
+}
+
+TimingModel
+TimingModel::generate(const CrossbarParams &params, unsigned granularity,
+                      double rangeShrink, double fastNs, double slowNs)
+{
+    TimingModel model;
+    model.params = params;
+
+    SneakPathModel fast(params);
+    ResetEvaluator eval = [&fast](const ResetCondition &c) {
+        return fast.evaluate(c);
+    };
+
+    // Calibration endpoints of the operating envelope.
+    ResetCondition bestCond;
+    bestCond.wordline = 0;
+    bestCond.byteOffset = 0;
+    bestCond.wlLrsCount = 0;
+    bestCond.blLrsCount = 0;
+    ResetCondition worstCond;
+    worstCond.wordline = params.rows - 1;
+    worstCond.byteOffset = params.cols / params.selectedCells - 1;
+    worstCond.wlLrsCount = static_cast<unsigned>(params.cols);
+    worstCond.blLrsCount = static_cast<unsigned>(params.rows);
+
+    model.bestDropVolts = fast.evaluate(bestCond).minDropVolts;
+    model.worstDropVolts = fast.evaluate(worstCond).minDropVolts;
+    model.law = ResetLatencyLaw::calibrate(model.bestDropVolts,
+                                           model.worstDropVolts,
+                                           fastNs, slowNs);
+    if (rangeShrink > 1.0)
+        model.law = model.law.shrinkDynamicRange(rangeShrink);
+
+    model.ladder =
+        WriteTimingTable::build(params, model.law, eval,
+                                ContentDim::Wordline, granularity,
+                                granularity, granularity);
+    model.blp = WriteTimingTable::build(params, model.law, eval,
+                                        ContentDim::Bitline,
+                                        granularity, granularity,
+                                        granularity);
+    model.location =
+        WriteTimingTable::build(params, model.law, eval,
+                                ContentDim::Wordline, granularity,
+                                granularity, 1);
+    model.power = PowerTable::build(params, eval);
+    return model;
+}
+
+TimingModel
+TimingModel::generateDerived(const CrossbarParams &params,
+                             const ResetLatencyLaw &law,
+                             unsigned granularity)
+{
+    TimingModel model;
+    model.params = params;
+    model.law = law;
+
+    SneakPathModel fast(params);
+    ResetEvaluator eval = [&fast](const ResetCondition &c) {
+        return fast.evaluate(c);
+    };
+    model.ladder =
+        WriteTimingTable::build(params, law, eval,
+                                ContentDim::Wordline, granularity,
+                                granularity, granularity);
+    model.blp = WriteTimingTable::build(params, law, eval,
+                                        ContentDim::Bitline,
+                                        granularity, granularity,
+                                        granularity);
+    model.location =
+        WriteTimingTable::build(params, law, eval,
+                                ContentDim::Wordline, granularity,
+                                granularity, 1);
+    model.power = PowerTable::build(params, eval);
+    return model;
+}
+
+} // namespace ladder

@@ -1,0 +1,86 @@
+#include "fpc.hh"
+
+#include <cstring>
+
+namespace ladder
+{
+
+namespace
+{
+
+/** FPC encoding cost in bits of one 32-bit word (excluding prefix). */
+unsigned
+wordPayloadBits(std::uint32_t w)
+{
+    auto fitsSigned = [](std::uint32_t v, unsigned bits) {
+        std::int32_t s = static_cast<std::int32_t>(v);
+        std::int32_t lo = -(1 << (bits - 1));
+        std::int32_t hi = (1 << (bits - 1)) - 1;
+        return s >= lo && s <= hi;
+    };
+    if (w == 0)
+        return 0; // zero run handled by caller
+    if (fitsSigned(w, 4))
+        return 4;
+    if (fitsSigned(w, 8))
+        return 8;
+    if (fitsSigned(w, 16))
+        return 16;
+    if ((w & 0xffffu) == 0)
+        return 16; // halfword padded with zeros
+    // Halfword each a sign-extended byte.
+    std::uint16_t hi = static_cast<std::uint16_t>(w >> 16);
+    std::uint16_t lo = static_cast<std::uint16_t>(w & 0xffffu);
+    auto halfIsSextByte = [](std::uint16_t h) {
+        std::int16_t s = static_cast<std::int16_t>(h);
+        return s >= -128 && s <= 127;
+    };
+    if (halfIsSextByte(hi) && halfIsSextByte(lo))
+        return 16;
+    // Word with repeated bytes.
+    std::uint8_t b0 = static_cast<std::uint8_t>(w);
+    if (((w >> 8) & 0xffu) == b0 && ((w >> 16) & 0xffu) == b0 &&
+        ((w >> 24) & 0xffu) == b0)
+        return 8;
+    return 32; // uncompressed
+}
+
+} // anonymous namespace
+
+unsigned
+fpcCompressedBits(const LineData &line)
+{
+    constexpr unsigned prefixBits = 3;
+    unsigned total = 0;
+    unsigned i = 0;
+    constexpr unsigned words = lineBytes / 4;
+    while (i < words) {
+        std::uint32_t w;
+        std::memcpy(&w, line.data() + i * 4, sizeof(w));
+        if (w == 0) {
+            // A run of zero words shares one prefix + 3-bit run length.
+            unsigned run = 0;
+            while (i < words && run < 8) {
+                std::uint32_t next;
+                std::memcpy(&next, line.data() + i * 4, sizeof(next));
+                if (next != 0)
+                    break;
+                ++run;
+                ++i;
+            }
+            total += prefixBits + 3;
+            continue;
+        }
+        total += prefixBits + wordPayloadBits(w);
+        ++i;
+    }
+    return total;
+}
+
+bool
+fpcCompressible(const LineData &line, unsigned thresholdBytes)
+{
+    return fpcCompressedBits(line) <= thresholdBytes * 8;
+}
+
+} // namespace ladder

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Frequent Pattern Compression (Alameldeen & Wood) over a 64B line, as
+ * used by the Split-reset scheme (Xu et al. HPCA'15): a data line that
+ * compresses to at most half its size needs only a single half-RESET
+ * phase.
+ */
+
+#ifndef LADDER_SCHEMES_FPC_HH
+#define LADDER_SCHEMES_FPC_HH
+
+#include "common/bitops.hh"
+
+namespace ladder
+{
+
+/**
+ * Compressed size of @p line in bits under FPC (3-bit prefix per
+ * 32-bit word plus the pattern payload; zero runs share one prefix).
+ */
+unsigned fpcCompressedBits(const LineData &line);
+
+/**
+ * Whether the line compresses to at most @p thresholdBytes.
+ * Split-reset uses half a line (32 bytes).
+ */
+bool fpcCompressible(const LineData &line, unsigned thresholdBytes = 32);
+
+} // namespace ladder
+
+#endif // LADDER_SCHEMES_FPC_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Address layout of the reserved LRS-metadata region (paper §3.3):
+ * the host pre-allocates a physical range hidden from the OS; the
+ * controller computes a data line's metadata line address from its
+ * (remapped) physical location.
+ *
+ * Storage cost per 4KB data page:
+ *  - Basic: 64 x 10-bit exact counters = 80B = 2 lines (3.12%)
+ *  - Est: 64 x 8-bit packed partial counters = 1 line (1.56%)
+ *  - Hybrid: Est lines for far rows, 1 line per 4 near (low-precision)
+ *    pages (0.97% with 128 low rows)
+ */
+
+#ifndef LADDER_SCHEMES_METADATA_LAYOUT_HH
+#define LADDER_SCHEMES_METADATA_LAYOUT_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "reram/geometry.hh"
+
+namespace ladder
+{
+
+/** Metadata region addressing for all LADDER variants. */
+class MetadataLayout
+{
+  public:
+    /**
+     * @param geo Module geometry.
+     * @param dataPages Pages exposed to the system as regular memory;
+     *        everything above is reserved for metadata.
+     */
+    MetadataLayout(const MemoryGeometry &geo, std::uint64_t dataPages);
+
+    std::uint64_t dataPages() const { return dataPages_; }
+    /** First byte of the reserved region. */
+    Addr reservedBase() const { return reservedBase_; }
+
+    /** Basic: the two metadata lines of a data page. */
+    Addr basicLine(std::uint64_t page, unsigned half) const;
+
+    /** Est (and Hybrid far rows): the single metadata line of a page. */
+    Addr estLine(std::uint64_t page) const;
+
+    /**
+     * Hybrid low-precision: the metadata line shared by the group of
+     * 4 pages on adjacent wordlines of the same mat group.
+     */
+    Addr hybridLowLine(const BlockLocation &loc) const;
+
+    /** Whether an address falls inside the reserved region. */
+    bool
+    isMetadataAddr(Addr addr) const
+    {
+        return addr >= reservedBase_;
+    }
+
+    /** Storage overhead fractions (for the §6.3 report). */
+    double basicOverhead() const { return 128.0 / 4096.0; }
+    double estOverhead() const { return 64.0 / 4096.0; }
+    double hybridOverhead(unsigned lowRows) const;
+
+  private:
+    MemoryGeometry geo_;
+    AddressMap map_;
+    std::uint64_t dataPages_;
+    Addr reservedBase_;
+    Addr hybridLowBase_;
+};
+
+} // namespace ladder
+
+#endif // LADDER_SCHEMES_METADATA_LAYOUT_HH

@@ -1,0 +1,97 @@
+#include "partial_counter.hh"
+
+#include "common/log.hh"
+
+namespace ladder
+{
+
+unsigned
+encodePartial2(unsigned maxPopcount)
+{
+    ladder_assert(maxPopcount <= 8, "byte popcount > 8");
+    if (maxPopcount <= 1)
+        return 0;
+    if (maxPopcount <= 3)
+        return 1;
+    if (maxPopcount <= 5)
+        return 2;
+    return 3;
+}
+
+unsigned
+decodePartial2(unsigned code)
+{
+    static const unsigned decode[4] = {1, 3, 5, 8};
+    ladder_assert(code < 4, "2-bit code out of range");
+    return decode[code];
+}
+
+unsigned
+encodePartial1(unsigned maxPopcount)
+{
+    ladder_assert(maxPopcount <= 8, "byte popcount > 8");
+    return maxPopcount <= 5 ? 0 : 1;
+}
+
+unsigned
+decodePartial1(unsigned code)
+{
+    ladder_assert(code < 2, "1-bit code out of range");
+    return code == 0 ? 5 : 8;
+}
+
+std::uint8_t
+packPartialCounters2(const LineData &data)
+{
+    std::uint8_t packed = 0;
+    const unsigned span = lineBytes / estSubgroups; // 16 bytes
+    for (unsigned s = 0; s < estSubgroups; ++s) {
+        unsigned worst =
+            maxBytePopcount(data, s * span, (s + 1) * span);
+        packed = static_cast<std::uint8_t>(
+            packed | (encodePartial2(worst) << (2 * s)));
+    }
+    return packed;
+}
+
+std::uint8_t
+packPartialCounters1(const LineData &data)
+{
+    std::uint8_t packed = 0;
+    const unsigned span = lineBytes / hybridLowSubgroups; // 32 bytes
+    for (unsigned s = 0; s < hybridLowSubgroups; ++s) {
+        unsigned worst =
+            maxBytePopcount(data, s * span, (s + 1) * span);
+        packed = static_cast<std::uint8_t>(
+            packed | (encodePartial1(worst) << s));
+    }
+    return packed;
+}
+
+unsigned
+estimateCw2(const std::array<std::uint8_t, 64> &packed)
+{
+    unsigned best = 0;
+    for (unsigned s = 0; s < estSubgroups; ++s) {
+        unsigned sum = 0;
+        for (std::uint8_t byte : packed)
+            sum += decodePartial2((byte >> (2 * s)) & 0x3);
+        best = sum > best ? sum : best;
+    }
+    return best;
+}
+
+unsigned
+estimateCw1(const std::array<std::uint8_t, 64> &packed)
+{
+    unsigned best = 0;
+    for (unsigned s = 0; s < hybridLowSubgroups; ++s) {
+        unsigned sum = 0;
+        for (std::uint8_t byte : packed)
+            sum += decodePartial1((byte >> s) & 0x1);
+        best = sum > best ? sum : best;
+    }
+    return best;
+}
+
+} // namespace ladder

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * LADDER's partial-counter machinery (paper §4.1, Eq. 1-2, Fig. 7/10).
+ *
+ * For a block, the partial counter of subgroup j is the maximum
+ * per-byte popcount over the 16 bytes (mats) the subgroup covers,
+ * quantized to 2 bits. Summing the decoded partial counters of all 64
+ * blocks of a page per subgroup upper-bounds that subgroup's worst
+ * wordline LRS count (Eq. 2); the max over subgroups upper-bounds
+ * C_w. The multi-granularity (Hybrid) design swaps in two 1-bit
+ * counters over 32-byte subgroups for write-driver-adjacent rows.
+ */
+
+#ifndef LADDER_SCHEMES_PARTIAL_COUNTER_HH
+#define LADDER_SCHEMES_PARTIAL_COUNTER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/bitops.hh"
+
+namespace ladder
+{
+
+/** Number of 2-bit subgroups per block in the Est design. */
+constexpr unsigned estSubgroups = 4;
+/** Number of 1-bit subgroups per block in the Hybrid low design. */
+constexpr unsigned hybridLowSubgroups = 2;
+
+/** Quantize a worst-byte popcount (0..8) to a 2-bit code. */
+unsigned encodePartial2(unsigned maxPopcount);
+/** Conservative decode of a 2-bit code: 1, 3, 5, 8. */
+unsigned decodePartial2(unsigned code);
+
+/** Quantize a worst-byte popcount (0..8) to a 1-bit code. */
+unsigned encodePartial1(unsigned maxPopcount);
+/** Conservative decode of a 1-bit code: 5 or 8. */
+unsigned decodePartial1(unsigned code);
+
+/**
+ * Pack the four 2-bit partial counters of a block into one byte
+ * (subgroup 0 in bits [1:0], ... subgroup 3 in bits [7:6]).
+ */
+std::uint8_t packPartialCounters2(const LineData &data);
+
+/**
+ * Pack the two 1-bit partial counters of a block into bits [1:0].
+ */
+std::uint8_t packPartialCounters1(const LineData &data);
+
+/**
+ * Estimated C_w for a page from 64 packed 2-bit counter bytes:
+ * per-subgroup sums of decoded counters, max across subgroups.
+ */
+unsigned estimateCw2(const std::array<std::uint8_t, 64> &packed);
+
+/** Same for the 1-bit encoding. */
+unsigned estimateCw1(const std::array<std::uint8_t, 64> &packed);
+
+} // namespace ladder
+
+#endif // LADDER_SCHEMES_PARTIAL_COUNTER_HH

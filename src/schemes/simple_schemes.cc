@@ -1,0 +1,51 @@
+#include "simple_schemes.hh"
+
+namespace ladder
+{
+
+WriteDecision
+BaselineScheme::decideWrite(MemoryController &ctrl, WriteEntry &entry,
+                            const LineData &finalData)
+{
+    (void)entry;
+    (void)finalData;
+    const WriteTimingTable &table = ctrl.timing().location;
+    // The pessimistic fixed latency: the far corner of the table.
+    const TimingEntry &worst =
+        table.at(table.wlBuckets() - 1, table.blBuckets() - 1, 0);
+    return {worst.latencyNs, worst.powerMw};
+}
+
+WriteDecision
+LocationScheme::decideWrite(MemoryController &ctrl, WriteEntry &entry,
+                            const LineData &finalData)
+{
+    (void)finalData;
+    const TimingEntry &t = ctrl.timing().location.lookup(
+        entry.loc.wordline, entry.loc.worstBitline(), 0);
+    return {t.latencyNs, t.powerMw};
+}
+
+WriteDecision
+OracleScheme::decideWrite(MemoryController &ctrl, WriteEntry &entry,
+                          const LineData &finalData)
+{
+    (void)finalData;
+    unsigned cw = ctrl.store().maxMatLrsCount(entry.loc.pageIndex);
+    const TimingEntry &t = ctrl.timing().ladder.lookup(
+        entry.loc.wordline, entry.loc.worstBitline(), cw);
+    return {t.latencyNs, t.powerMw};
+}
+
+WriteDecision
+BlpScheme::decideWrite(MemoryController &ctrl, WriteEntry &entry,
+                       const LineData &finalData)
+{
+    (void)finalData;
+    unsigned cbl = ctrl.store().maxSelectedBitlineLrs(entry.addr);
+    const TimingEntry &t = ctrl.timing().blp.lookup(
+        entry.loc.wordline, entry.loc.worstBitline(), cbl);
+    return {t.latencyNs, t.powerMw};
+}
+
+} // namespace ladder

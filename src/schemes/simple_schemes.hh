@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The metadata-free write schemes: the worst-case baseline, the
+ * location-only scheme (Fig. 2 motivation), the Oracle (perfect
+ * wordline-content knowledge, paper §6.1), and BLP (bitline-pattern
+ * profiling circuitry in the memory devices, Wen et al. TCAD'19).
+ */
+
+#ifndef LADDER_SCHEMES_SIMPLE_SCHEMES_HH
+#define LADDER_SCHEMES_SIMPLE_SCHEMES_HH
+
+#include "ctrl/controller.hh"
+#include "ctrl/scheme.hh"
+
+namespace ladder
+{
+
+/** Fixed pessimistic latency: every write pays the table worst case. */
+class BaselineScheme : public WriteScheme
+{
+  public:
+    std::string name() const override { return "baseline"; }
+    WriteDecision decideWrite(MemoryController &ctrl, WriteEntry &entry,
+                              const LineData &finalData) override;
+};
+
+/** Location-aware only: content worst-cased. */
+class LocationScheme : public WriteScheme
+{
+  public:
+    std::string name() const override { return "location"; }
+    WriteDecision decideWrite(MemoryController &ctrl, WriteEntry &entry,
+                              const LineData &finalData) override;
+};
+
+/**
+ * Oracle: the data/location-aware latency model evaluated with the
+ * exact per-mat wordline LRS counters, free of any metadata traffic.
+ */
+class OracleScheme : public WriteScheme
+{
+  public:
+    std::string name() const override { return "oracle"; }
+    WriteDecision decideWrite(MemoryController &ctrl, WriteEntry &entry,
+                              const LineData &finalData) override;
+};
+
+/**
+ * BLP: in-memory profiling circuitry reports exact bitline LRS
+ * counts; the wordline content is worst-cased.
+ */
+class BlpScheme : public WriteScheme
+{
+  public:
+    std::string name() const override { return "BLP"; }
+    WriteDecision decideWrite(MemoryController &ctrl, WriteEntry &entry,
+                              const LineData &finalData) override;
+};
+
+} // namespace ladder
+
+#endif // LADDER_SCHEMES_SIMPLE_SCHEMES_HH

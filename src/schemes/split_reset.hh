@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Split-reset write scheduling (Xu et al., HPCA'15; paper §6.1): one
+ * RESET is divided into two half-RESET phases that each write at most
+ * 4 bits per mat. Fewer concurrently selected cells draw less sneak
+ * current, so each phase is faster than a full 8-bit RESET; lines that
+ * FPC-compress to half size need only a single phase.
+ */
+
+#ifndef LADDER_SCHEMES_SPLIT_RESET_HH
+#define LADDER_SCHEMES_SPLIT_RESET_HH
+
+#include "common/stats.hh"
+#include "ctrl/controller.hh"
+#include "ctrl/scheme.hh"
+#include "reram/timing_tables.hh"
+
+namespace ladder
+{
+
+/** Split-reset with FPC-gated single-phase writes. */
+class SplitResetScheme : public WriteScheme
+{
+  public:
+    /**
+     * @param params Crossbar parameters of the host timing model; a
+     *        dedicated 4-selected-cell location table is generated.
+     * @param granularity Timing-table granularity (8 in the paper).
+     */
+    explicit SplitResetScheme(const CrossbarParams &params,
+                              unsigned granularity = 8);
+
+    std::string name() const override { return "Split-reset"; }
+    WriteDecision decideWrite(MemoryController &ctrl, WriteEntry &entry,
+                              const LineData &finalData) override;
+
+    StatScalar compressibleWrites;
+    StatScalar incompressibleWrites;
+
+  private:
+    const TimingModel &halfModel_;
+};
+
+} // namespace ladder
+
+#endif // LADDER_SCHEMES_SPLIT_RESET_HH

@@ -1,0 +1,121 @@
+#include "experiment.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hh"
+#include "trace/workloads.hh"
+
+namespace ladder
+{
+
+ExperimentConfig
+defaultExperimentConfig()
+{
+    ExperimentConfig config;
+    if (const char *env = std::getenv("LADDER_BENCH_SCALE")) {
+        double scale = std::atof(env);
+        if (scale > 0.0) {
+            config.warmupInstr = static_cast<std::uint64_t>(
+                config.warmupInstr * scale);
+            config.measureInstr = static_cast<std::uint64_t>(
+                config.measureInstr * scale);
+        }
+    }
+    return config;
+}
+
+std::vector<std::string>
+workloadPrograms(const std::string &name)
+{
+    if (!isMixWorkload(name))
+        return {name};
+    for (const auto &mix : mixWorkloads()) {
+        if (mix.first == name)
+            return mix.second;
+    }
+    fatal("unknown mix '%s'", name.c_str());
+}
+
+SystemConfig
+makeSystemConfig(SchemeKind scheme, const std::string &workload,
+                 const ExperimentConfig &config)
+{
+    SystemConfig sys;
+    sys.scheme = scheme;
+    sys.schemeOptions = config.schemeOptions;
+    sys.schemeOptions.tableGranularity = config.granularity;
+    sys.tableGranularity = config.granularity;
+    sys.rangeShrink = config.rangeShrink;
+    sys.workloads = workloadPrograms(workload);
+    sys.seed = config.seed;
+    sys.controller.fnwMode = config.fnwMode;
+    if (config.cacheScale != 1.0) {
+        auto scale = [&](std::size_t bytes) {
+            std::size_t scaled = static_cast<std::size_t>(
+                static_cast<double>(bytes) * config.cacheScale);
+            // Keep a sane minimum and way-divisibility.
+            return std::max<std::size_t>(scaled, 8 * 1024);
+        };
+        sys.caches.l2.sizeBytes = scale(sys.caches.l2.sizeBytes);
+        sys.caches.l3.sizeBytes = scale(sys.caches.l3.sizeBytes);
+        sys.workingSetScale *= config.cacheScale;
+    }
+    return sys;
+}
+
+SimResult
+runOne(SchemeKind scheme, const std::string &workload,
+       const ExperimentConfig &config)
+{
+    System system(makeSystemConfig(scheme, workload, config));
+    return system.run(config.warmupInstr, config.measureInstr);
+}
+
+double
+speedupOver(const SimResult &result, const SimResult &baseline)
+{
+    ladder_assert(result.coreIpc.size() == baseline.coreIpc.size(),
+                  "speedup: mismatched core counts");
+    double acc = 0.0;
+    for (std::size_t c = 0; c < result.coreIpc.size(); ++c) {
+        ladder_assert(baseline.coreIpc[c] > 0.0,
+                      "speedup: zero baseline IPC");
+        acc += result.coreIpc[c] / baseline.coreIpc[c];
+    }
+    return acc / static_cast<double>(result.coreIpc.size());
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> columns,
+                           unsigned width)
+    : columns_(std::move(columns)), width_(width)
+{
+}
+
+void
+TablePrinter::printHeader() const
+{
+    std::printf("%-10s", "workload");
+    for (const auto &column : columns_)
+        std::printf(" %*s", width_, column.c_str());
+    std::printf("\n");
+    unsigned total = 10 + static_cast<unsigned>(columns_.size()) *
+                              (width_ + 1);
+    for (unsigned i = 0; i < total; ++i)
+        std::printf("-");
+    std::printf("\n");
+}
+
+void
+TablePrinter::printRow(const std::string &label,
+                       const std::vector<double> &values,
+                       int precision) const
+{
+    std::printf("%-10s", label.c_str());
+    for (double value : values)
+        std::printf(" %*.*f", width_, precision, value);
+    std::printf("\n");
+}
+
+} // namespace ladder

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Experiment harness helpers shared by the benchmark binaries: build
+ * a System for a (scheme, workload) pair, run the measured window,
+ * normalize against the baseline, and print paper-style tables.
+ */
+
+#ifndef LADDER_SIM_EXPERIMENT_HH
+#define LADDER_SIM_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+
+namespace ladder
+{
+
+/** Shared experiment knobs (env LADDER_BENCH_SCALE multiplies sizes). */
+struct ExperimentConfig
+{
+    std::uint64_t warmupInstr = 1'500'000;
+    std::uint64_t measureInstr = 400'000;
+    unsigned granularity = 8;
+    double rangeShrink = 1.0;
+    std::uint64_t seed = 1;
+    FnwMode fnwMode = FnwMode::Classical;
+    SchemeOptions schemeOptions{};
+    /**
+     * Scale factor on L2/L3 capacities and working sets (tests use
+     * small values so caches reach steady state within short runs).
+     */
+    double cacheScale = 1.0;
+};
+
+/**
+ * Defaults scaled by the LADDER_BENCH_SCALE environment variable
+ * (e.g. 4 runs 4x longer windows).
+ */
+ExperimentConfig defaultExperimentConfig();
+
+/** Resolve a display name to the list of per-core workloads. */
+std::vector<std::string> workloadPrograms(const std::string &name);
+
+/** Build the SystemConfig for one (scheme, workload) run. */
+SystemConfig makeSystemConfig(SchemeKind scheme,
+                              const std::string &workload,
+                              const ExperimentConfig &config);
+
+/** Build, warm up, and measure one run. */
+SimResult runOne(SchemeKind scheme, const std::string &workload,
+                 const ExperimentConfig &config);
+
+/**
+ * Weighted speedup of @p result over @p baseline: mean of per-core
+ * IPC ratios (equals the plain IPC ratio for single programs).
+ */
+double speedupOver(const SimResult &result, const SimResult &baseline);
+
+/** Fixed-width table printing used by every bench binary. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> columns,
+                          unsigned width = 14);
+    void printHeader() const;
+    void printRow(const std::string &label,
+                  const std::vector<double> &values,
+                  int precision = 3) const;
+
+  private:
+    std::vector<std::string> columns_;
+    unsigned width_;
+};
+
+} // namespace ladder
+
+#endif // LADDER_SIM_EXPERIMENT_HH

@@ -1,0 +1,152 @@
+#include "data_patterns.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace ladder
+{
+
+DataPatternModel::DataPatternModel(const PatternMix &mix) : mix_(mix)
+{
+    total_ = mix.zero + mix.smallInt + mix.fp + mix.pointer + mix.text +
+             mix.random;
+    ladder_assert(total_ > 0.0, "pattern mix has zero total weight");
+}
+
+DataPatternModel::Kind
+DataPatternModel::pick(Rng &rng) const
+{
+    double draw = rng.nextDouble() * total_;
+    if ((draw -= mix_.zero) < 0.0)
+        return Kind::Zero;
+    if ((draw -= mix_.smallInt) < 0.0)
+        return Kind::SmallInt;
+    if ((draw -= mix_.fp) < 0.0)
+        return Kind::Fp;
+    if ((draw -= mix_.pointer) < 0.0)
+        return Kind::Pointer;
+    if ((draw -= mix_.text) < 0.0)
+        return Kind::Text;
+    return Kind::Random;
+}
+
+void
+DataPatternModel::fillWord(Kind kind, Rng &rng, std::uint8_t *out)
+{
+    std::uint64_t word = 0;
+    switch (kind) {
+      case Kind::Zero:
+        // Mostly zero; the occasional stray flag byte.
+        if (rng.nextBool(0.05))
+            word = std::uint64_t(rng.nextBounded(256))
+                   << (8 * rng.nextBounded(8));
+        break;
+      case Kind::SmallInt: {
+        // Small magnitudes; ~20% negative (sign extension fills the
+        // high bytes with 0xff, clustering '1's).
+        std::int64_t magnitude =
+            static_cast<std::int64_t>(rng.nextGeometric(0.002));
+        bool negative = rng.nextBool(0.2);
+        word = static_cast<std::uint64_t>(negative ? -magnitude
+                                                   : magnitude);
+        break;
+      }
+      case Kind::Fp: {
+        // A double with a modest exponent. Real datasets hold many
+        // limited-precision values, so the mantissa keeps a random
+        // number of trailing zero bytes.
+        double mant = rng.nextDouble() * 2.0 - 1.0;
+        int exp = static_cast<int>(rng.nextRange(-12, 12));
+        double value = std::ldexp(mant, exp);
+        std::memcpy(&word, &value, sizeof(word));
+        unsigned zeroBytes =
+            static_cast<unsigned>(rng.nextBounded(7));
+        if (zeroBytes)
+            word &= ~0ull << (8 * zeroBytes);
+        break;
+      }
+      case Kind::Pointer: {
+        // Canonical user-space pointer: 0x00007f.. with aligned low
+        // bits.
+        std::uint64_t offset = rng.nextBounded(1ull << 34) & ~0x7ull;
+        word = 0x00007f0000000000ull | offset;
+        break;
+      }
+      case Kind::Text: {
+        for (unsigned i = 0; i < 8; ++i) {
+            std::uint8_t c = rng.nextBool(0.15)
+                                 ? 0x20
+                                 : static_cast<std::uint8_t>(
+                                       0x61 + rng.nextBounded(26));
+            word |= std::uint64_t(c) << (8 * i);
+        }
+        break;
+      }
+      case Kind::Random:
+        word = rng.next();
+        break;
+    }
+    std::memcpy(out, &word, sizeof(word));
+}
+
+namespace
+{
+
+/**
+ * Probability that a word of a given class is exactly zero. Memory-
+ * content studies consistently find a large zero fraction even in
+ * FP-heavy applications (unused slots, zero entries, null pointers).
+ */
+double
+zeroWordProb(int kind)
+{
+    switch (kind) {
+      case 1: return 0.50; // SmallInt
+      case 2: return 0.45; // Fp
+      case 3: return 0.40; // Pointer (nulls)
+      case 4: return 0.15; // Text (empty slots)
+      case 5: return 0.05; // Random
+      default: return 0.0;
+    }
+}
+
+} // anonymous namespace
+
+LineData
+DataPatternModel::generateLine(Rng &rng) const
+{
+    // One content class per line: real pages are homogeneous (an array
+    // of doubles, a text buffer, ...), which is exactly what produces
+    // the clustered per-mat patterns LADDER's shifting targets.
+    Kind kind = pick(rng);
+    LineData line{};
+    double zeroProb = zeroWordProb(static_cast<int>(kind));
+    for (unsigned w = 0; w < lineBytes / 8; ++w) {
+        if (zeroProb > 0.0 && rng.nextBool(zeroProb))
+            continue; // leave the word zero
+        fillWord(kind, rng, line.data() + w * 8);
+    }
+    return line;
+}
+
+std::array<std::uint8_t, 8>
+DataPatternModel::generateWord(Rng &rng) const
+{
+    std::array<std::uint8_t, 8> out{};
+    fillWord(pick(rng), rng, out.data());
+    return out;
+}
+
+double
+DataPatternModel::expectedDensity() const
+{
+    // Rough per-class ones-per-byte densities, for sanity checks.
+    double acc = mix_.zero * 0.02 + mix_.smallInt * 0.6 +
+                 mix_.fp * 3.2 + mix_.pointer * 1.9 +
+                 mix_.text * 3.0 + mix_.random * 4.0;
+    return acc / total_;
+}
+
+} // namespace ladder

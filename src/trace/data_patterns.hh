@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Memory-content models. LADDER's benefit is driven by the bit
+ * patterns applications keep resident (how many LRS cells per
+ * wordline, how clustered they are, how compressible lines are), so
+ * the synthetic workloads generate *typed* content: zero-dominated
+ * lines, small signed integers, IEEE doubles, heap pointers, ASCII
+ * text and incompressible random data, mixed per benchmark.
+ */
+
+#ifndef LADDER_TRACE_DATA_PATTERNS_HH
+#define LADDER_TRACE_DATA_PATTERNS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/bitops.hh"
+#include "common/rng.hh"
+
+namespace ladder
+{
+
+/** Relative weights of the content classes in a workload's data. */
+struct PatternMix
+{
+    double zero = 0.0;     //!< zero / near-zero lines
+    double smallInt = 0.0; //!< 4/8-byte small signed integers
+    double fp = 0.0;       //!< IEEE-754 doubles
+    double pointer = 0.0;  //!< 48-bit canonical heap pointers
+    double text = 0.0;     //!< printable ASCII
+    double random = 0.0;   //!< incompressible uniform bytes
+};
+
+/** Generates lines and store payloads according to a PatternMix. */
+class DataPatternModel
+{
+  public:
+    explicit DataPatternModel(const PatternMix &mix);
+
+    /** A full 64-byte line of fresh content. */
+    LineData generateLine(Rng &rng) const;
+
+    /** An 8-byte store payload (same distribution as lines). */
+    std::array<std::uint8_t, 8> generateWord(Rng &rng) const;
+
+    /** Mean ones-per-byte of generated content (for tests). */
+    double expectedDensity() const;
+
+    const PatternMix &mix() const { return mix_; }
+
+  private:
+    PatternMix mix_;
+    double total_ = 0.0;
+
+    enum class Kind { Zero, SmallInt, Fp, Pointer, Text, Random };
+    Kind pick(Rng &rng) const;
+    static void fillWord(Kind kind, Rng &rng, std::uint8_t *out);
+};
+
+} // namespace ladder
+
+#endif // LADDER_TRACE_DATA_PATTERNS_HH

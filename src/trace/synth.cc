@@ -1,0 +1,98 @@
+#include "synth.hh"
+
+#include "common/log.hh"
+
+namespace ladder
+{
+
+SyntheticTrace::SyntheticTrace(const WorkloadParams &params)
+    : params_(params), pattern_(params.pattern), rng_(params.seed)
+{
+    ladder_assert(params_.memFraction > 0.0 &&
+                      params_.memFraction <= 1.0,
+                  "memFraction out of range");
+    ladder_assert(params_.workingSetPages > 0, "empty working set");
+    streamCursor_.resize(std::max(1u, params_.streams));
+    streamLeft_.resize(streamCursor_.size(), 0);
+    streamDwell_.resize(streamCursor_.size(), 0);
+    streamWriting_.resize(streamCursor_.size(), false);
+    for (auto &cursor : streamCursor_)
+        cursor = rng_.nextBounded(linesInSet());
+}
+
+std::uint64_t
+SyntheticTrace::linesInSet() const
+{
+    return params_.workingSetPages * (4096 / lineBytes);
+}
+
+Addr
+SyntheticTrace::pickAddress(bool &dependent, bool &isWrite)
+{
+    dependent = false;
+    double draw = rng_.nextDouble();
+    if (draw < params_.streamFraction) {
+        // Sequential stream: the core dwells on each 64B line for
+        // several word-granular accesses before moving on. Whether a
+        // line receives stores is decided per line, so the dirty-line
+        // (writeback) rate tracks writeFraction.
+        unsigned s = static_cast<unsigned>(
+            rng_.nextBounded(streamCursor_.size()));
+        if (streamDwell_[s] == 0) {
+            if (streamLeft_[s] == 0) {
+                streamCursor_[s] = rng_.nextBounded(linesInSet());
+                streamLeft_[s] =
+                    64 + rng_.nextGeometric(1.0 / 512.0);
+            } else {
+                streamCursor_[s] =
+                    (streamCursor_[s] + 1) % linesInSet();
+                --streamLeft_[s];
+            }
+            streamDwell_[s] = std::max(1u, params_.dwellPerLine);
+            streamWriting_[s] =
+                rng_.nextBool(params_.writeFraction);
+        }
+        --streamDwell_[s];
+        isWrite = streamWriting_[s] && rng_.nextBool(0.5);
+        return streamCursor_[s] * lineBytes;
+    }
+    if (draw < params_.streamFraction + params_.hotFraction) {
+        // Zipf-popular hot page; mostly cache hits after warmup.
+        std::uint64_t hotPages =
+            std::min(params_.hotPages, params_.workingSetPages);
+        std::uint64_t page = rng_.nextZipf(hotPages, 0.8);
+        std::uint64_t lineInPage = rng_.nextBounded(4096 / lineBytes);
+        isWrite = rng_.nextBool(params_.writeFraction);
+        return (page * (4096 / lineBytes) + lineInPage) * lineBytes;
+    }
+    // Uniform working-set access (pointer-chase style). Chasing
+    // traffic is read-dominated: stores happen on a minority of
+    // visited nodes.
+    dependent = rng_.nextBool(params_.dependentFraction);
+    isWrite = rng_.nextBool(params_.writeFraction * 0.4);
+    return rng_.nextBounded(linesInSet()) * lineBytes;
+}
+
+TraceRecord
+SyntheticTrace::next()
+{
+    TraceRecord rec;
+    // Non-memory instructions between memory ops: geometric with mean
+    // 1/memFraction - 1.
+    double p = params_.memFraction;
+    rec.nonMemBefore =
+        static_cast<std::uint32_t>(rng_.nextGeometric(p));
+    bool dependent = false;
+    bool isWrite = false;
+    rec.lineAddr = pickAddress(dependent, isWrite);
+    rec.isWrite = isWrite;
+    rec.dependent = !rec.isWrite && dependent;
+    if (rec.isWrite) {
+        rec.storeOffset =
+            static_cast<unsigned>(rng_.nextBounded(8)) * 8;
+        rec.storeData = pattern_.generateWord(rng_);
+    }
+    return rec;
+}
+
+} // namespace ladder

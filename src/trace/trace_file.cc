@@ -1,0 +1,116 @@
+#include "trace_file.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace ladder
+{
+
+namespace
+{
+
+constexpr char magic[8] = {'L', 'D', 'T', 'R', 'A', 'C', 'E', '1'};
+
+/** Packed on-disk record (24 bytes). */
+struct PackedRecord
+{
+    std::uint64_t lineAddr;
+    std::uint32_t nonMemBefore;
+    std::uint8_t flags; // bit 0 write, bit 1 dependent
+    std::uint8_t storeOffset;
+    std::uint8_t pad[2];
+    std::uint8_t storeData[8];
+};
+static_assert(sizeof(PackedRecord) == 24, "record layout drifted");
+
+} // anonymous namespace
+
+std::uint64_t
+recordTrace(TraceSource &source, std::uint64_t records,
+            const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        fatal("cannot open trace file '%s' for writing",
+              path.c_str());
+    std::uint64_t footprint = source.footprintBytes();
+    if (std::fwrite(magic, sizeof(magic), 1, file) != 1 ||
+        std::fwrite(&records, sizeof(records), 1, file) != 1 ||
+        std::fwrite(&footprint, sizeof(footprint), 1, file) != 1) {
+        std::fclose(file);
+        fatal("short write to trace file '%s'", path.c_str());
+    }
+    for (std::uint64_t i = 0; i < records; ++i) {
+        TraceRecord rec = source.next();
+        PackedRecord packed{};
+        packed.lineAddr = rec.lineAddr;
+        packed.nonMemBefore = rec.nonMemBefore;
+        packed.flags = static_cast<std::uint8_t>(
+            (rec.isWrite ? 1 : 0) | (rec.dependent ? 2 : 0));
+        packed.storeOffset =
+            static_cast<std::uint8_t>(rec.storeOffset);
+        std::memcpy(packed.storeData, rec.storeData.data(), 8);
+        if (std::fwrite(&packed, sizeof(packed), 1, file) != 1) {
+            std::fclose(file);
+            fatal("short write to trace file '%s'", path.c_str());
+        }
+    }
+    std::fclose(file);
+    return records;
+}
+
+TraceFileSource::TraceFileSource(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        fatal("cannot open trace file '%s'", path.c_str());
+    char head[8];
+    std::uint64_t count = 0;
+    if (std::fread(head, sizeof(head), 1, file) != 1 ||
+        std::memcmp(head, magic, sizeof(magic)) != 0) {
+        std::fclose(file);
+        fatal("'%s' is not a LADDER trace file", path.c_str());
+    }
+    if (std::fread(&count, sizeof(count), 1, file) != 1 ||
+        std::fread(&footprint_, sizeof(footprint_), 1, file) != 1) {
+        std::fclose(file);
+        fatal("truncated trace header in '%s'", path.c_str());
+    }
+    records_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        PackedRecord packed;
+        if (std::fread(&packed, sizeof(packed), 1, file) != 1) {
+            std::fclose(file);
+            fatal("truncated trace body in '%s' (record %llu of "
+                  "%llu)",
+                  path.c_str(),
+                  static_cast<unsigned long long>(i),
+                  static_cast<unsigned long long>(count));
+        }
+        TraceRecord rec;
+        rec.lineAddr = packed.lineAddr;
+        rec.nonMemBefore = packed.nonMemBefore;
+        rec.isWrite = packed.flags & 1;
+        rec.dependent = packed.flags & 2;
+        rec.storeOffset = packed.storeOffset;
+        std::memcpy(rec.storeData.data(), packed.storeData, 8);
+        records_.push_back(rec);
+    }
+    std::fclose(file);
+    ladder_assert(!records_.empty(), "empty trace file '%s'",
+                  path.c_str());
+}
+
+TraceRecord
+TraceFileSource::next()
+{
+    TraceRecord rec = records_[cursor_];
+    if (++cursor_ == records_.size()) {
+        cursor_ = 0;
+        ++loops_;
+    }
+    return rec;
+}
+
+} // namespace ladder

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Trace recording and replay. Any TraceSource can be captured to a
+ * compact binary file and replayed later — the standard workflow for
+ * comparing schemes on bit-identical input, sharing workloads, or
+ * attaching externally captured traces to the simulator.
+ *
+ * File format: 16-byte header ("LDTRACE1", record count), then one
+ * packed 24-byte record per TraceRecord.
+ */
+
+#ifndef LADDER_TRACE_TRACE_FILE_HH
+#define LADDER_TRACE_TRACE_FILE_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/synth.hh"
+
+namespace ladder
+{
+
+/** Anything that produces TraceRecords. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+    /** Next record; traces never end (replay loops if finite). */
+    virtual TraceRecord next() = 0;
+    /** Region footprint in bytes. */
+    virtual std::uint64_t footprintBytes() const = 0;
+};
+
+/** Adapter: SyntheticTrace behind the TraceSource interface. */
+class SyntheticSource : public TraceSource
+{
+  public:
+    explicit SyntheticSource(const WorkloadParams &params)
+        : trace_(params)
+    {
+    }
+
+    TraceRecord next() override { return trace_.next(); }
+    std::uint64_t
+    footprintBytes() const override
+    {
+        return trace_.footprintBytes();
+    }
+    const SyntheticTrace &trace() const { return trace_; }
+
+  private:
+    SyntheticTrace trace_;
+};
+
+/**
+ * Record @p records items of @p source into @p path.
+ *
+ * @return Number of records written.
+ */
+std::uint64_t recordTrace(TraceSource &source, std::uint64_t records,
+                          const std::string &path);
+
+/**
+ * Replay a recorded trace file; loops back to the start when the
+ * file is exhausted so the source never ends.
+ */
+class TraceFileSource : public TraceSource
+{
+  public:
+    explicit TraceFileSource(const std::string &path);
+
+    TraceRecord next() override;
+    std::uint64_t
+    footprintBytes() const override
+    {
+        return footprint_;
+    }
+    std::uint64_t records() const { return records_.size(); }
+    std::uint64_t loops() const { return loops_; }
+
+  private:
+    std::vector<TraceRecord> records_;
+    std::uint64_t footprint_ = 0;
+    std::size_t cursor_ = 0;
+    std::uint64_t loops_ = 0;
+};
+
+} // namespace ladder
+
+#endif // LADDER_TRACE_TRACE_FILE_HH

@@ -1,0 +1,141 @@
+#include "workloads.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ladder
+{
+
+namespace
+{
+
+struct NamedWorkload
+{
+    const char *name;
+    const char *shortName;
+    WorkloadParams params;
+};
+
+/**
+ * Base parameter table. Working-set sizes are in 4KB pages, already
+ * scaled ~8x down from the originals' footprints to pair with the
+ * scaled cache hierarchy (see sim/system.hh).
+ */
+const std::vector<NamedWorkload> &
+table()
+{
+    static const std::vector<NamedWorkload> workloads = [] {
+        std::vector<NamedWorkload> t;
+        auto add = [&t](const char *name, const char *shortName,
+                        double memFrac, double writeFrac,
+                        std::uint64_t wsPages, double stream,
+                        double hot, std::uint64_t hotPages,
+                        unsigned streams, double dep,
+                        PatternMix mix) {
+            NamedWorkload w;
+            w.name = name;
+            w.shortName = shortName;
+            w.params.name = name;
+            w.params.memFraction = memFrac;
+            w.params.writeFraction = writeFrac;
+            w.params.workingSetPages = wsPages;
+            w.params.streamFraction = stream;
+            w.params.hotFraction = hot;
+            w.params.hotPages = hotPages;
+            w.params.streams = streams;
+            w.params.dependentFraction = dep;
+            w.params.pattern = mix;
+            t.push_back(w);
+        };
+        // name, short, mem, wr, WS, stream, hot, hotPg, strms, dep,
+        //   {zero, int, fp, ptr, text, rand}
+        add("astar", "astar", 0.10, 0.25, 1536, 0.35, 0.35, 96, 6,
+            0.15, {4.0, 3.0, 0.5, 3.0, 0.5, 0.5});
+        add("bwaves", "bwavs", 0.12, 0.33, 3072, 0.75, 0.15, 64, 10,
+            0.00, {3.0, 0.5, 6.0, 0.2, 0.0, 0.4});
+        add("canneal", "cannl", 0.10, 0.28, 2560, 0.20, 0.25, 96, 4,
+            0.35, {6.0, 2.0, 0.3, 3.0, 0.3, 0.25});
+        add("facesim", "fsim", 0.09, 0.35, 1536, 0.60, 0.25, 96, 8,
+            0.05, {3.5, 1.0, 4.0, 0.8, 0.0, 0.25});
+        add("lbm", "lbm", 0.13, 0.45, 3584, 0.85, 0.08, 48, 12, 0.00,
+            {2.0, 0.3, 7.0, 0.0, 0.0, 0.5});
+        add("libquantum", "libq", 0.11, 0.25, 2048, 0.90, 0.05, 32,
+            4, 0.00, {8.0, 4.0, 0.0, 0.0, 0.0, 0.15});
+        add("mcf", "mcf", 0.14, 0.22, 4096, 0.15, 0.20, 128, 4, 0.40,
+            {5.0, 3.0, 0.0, 4.0, 0.0, 0.3});
+        add("perlbench", "perlb", 0.09, 0.30, 1024, 0.25, 0.45, 192,
+            6, 0.10, {5.0, 2.0, 0.2, 2.5, 2.5, 0.15});
+        add("cactusADM", "cactusADM", 0.10, 0.38, 2048, 0.65, 0.20,
+            80, 8, 0.02, {3.0, 0.5, 5.0, 0.3, 0.0, 0.4});
+        add("zeusmp", "zeusmp", 0.10, 0.33, 1536, 0.70, 0.20, 80, 8,
+            0.02, {3.0, 0.8, 4.5, 0.2, 0.0, 0.3});
+        return t;
+    }();
+    return workloads;
+}
+
+} // anonymous namespace
+
+std::vector<std::string>
+singleWorkloadNames()
+{
+    return {"astar", "bwavs", "cannl", "fsim",
+            "lbm",   "libq",  "mcf",   "perlb"};
+}
+
+std::vector<std::pair<std::string, std::vector<std::string>>>
+mixWorkloads()
+{
+    return {
+        {"mix-1", {"astar", "lbm", "mcf", "cactusADM"}},
+        {"mix-2", {"cactusADM", "bwaves", "perlbench", "zeusmp"}},
+        {"mix-3", {"bwaves", "zeusmp", "astar", "mcf"}},
+        {"mix-4", {"zeusmp", "perlbench", "lbm", "cactusADM"}},
+        {"mix-5", {"cactusADM", "astar", "lbm", "perlbench"}},
+        {"mix-6", {"zeusmp", "cactusADM", "bwaves", "mcf"}},
+        {"mix-7", {"astar", "lbm", "bwaves", "mcf"}},
+        {"mix-8", {"mcf", "cactusADM", "zeusmp", "perlbench"}},
+    };
+}
+
+std::vector<std::string>
+allWorkloadNames()
+{
+    auto names = singleWorkloadNames();
+    for (const auto &mix : mixWorkloads())
+        names.push_back(mix.first);
+    return names;
+}
+
+bool
+isMixWorkload(const std::string &name)
+{
+    return name.rfind("mix-", 0) == 0;
+}
+
+WorkloadParams
+workloadByName(const std::string &name, std::uint64_t seedSalt,
+               double scale)
+{
+    for (const auto &entry : table()) {
+        if (name == entry.name || name == entry.shortName) {
+            WorkloadParams params = entry.params;
+            if (scale != 1.0) {
+                params.workingSetPages = std::max<std::uint64_t>(
+                    4, static_cast<std::uint64_t>(
+                           params.workingSetPages * scale));
+                params.hotPages = std::max<std::uint64_t>(
+                    2, static_cast<std::uint64_t>(params.hotPages *
+                                                  scale));
+            }
+            params.seed = mix64(0x1add3c0000ull ^
+                                mix64(seedSalt + 0x9e37u) ^
+                                std::hash<std::string>{}(entry.name));
+            return params;
+        }
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace ladder

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Named workload configurations standing in for the paper's SPEC2006 /
+ * PARSEC benchmarks (Table 3). Parameters (memory intensity, write
+ * ratio, working-set size, locality structure and data content) follow
+ * published characterizations of the originals; working sets are
+ * scaled down ~8x together with the simulated cache hierarchy so the
+ * WS:LLC ratios match the paper's setup at tractable run times.
+ */
+
+#ifndef LADDER_TRACE_WORKLOADS_HH
+#define LADDER_TRACE_WORKLOADS_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/synth.hh"
+
+namespace ladder
+{
+
+/** The 8 single-program workloads, in the paper's order. */
+std::vector<std::string> singleWorkloadNames();
+
+/** The 8 multi-programmed mixes: display name -> 4 member names. */
+std::vector<std::pair<std::string, std::vector<std::string>>>
+mixWorkloads();
+
+/** All 16 workload display names (singles then mixes). */
+std::vector<std::string> allWorkloadNames();
+
+/** Whether a display name denotes a 4-program mix. */
+bool isMixWorkload(const std::string &name);
+
+/**
+ * Parameters for a named benchmark (full names like "astar",
+ * "cactusADM" and the paper's abbreviations like "cannl", "fsim",
+ * "libq", "perlb"). Fatal on unknown names.
+ *
+ * @param seedSalt Mixed into the trace seed (distinct core copies).
+ * @param scale Working-set scale factor (1.0 = scaled defaults).
+ */
+WorkloadParams workloadByName(const std::string &name,
+                              std::uint64_t seedSalt = 0,
+                              double scale = 1.0);
+
+} // namespace ladder
+
+#endif // LADDER_TRACE_WORKLOADS_HH

@@ -1,0 +1,50 @@
+#include "horizontal.hh"
+
+namespace ladder
+{
+
+HorizontalWearScheme::HorizontalWearScheme(
+    std::shared_ptr<WriteScheme> inner, unsigned rotatePeriod)
+    : inner_(std::move(inner)), rotatePeriod_(rotatePeriod)
+{
+}
+
+unsigned
+HorizontalWearScheme::rotationOf(Addr lineAddr) const
+{
+    auto it = state_.find(lineAddr);
+    return it == state_.end() ? 0 : it->second.first;
+}
+
+void
+HorizontalWearScheme::noteWrite(Addr lineAddr)
+{
+    auto &entry = state_[lineAddr];
+    if (++entry.second >= rotatePeriod_) {
+        entry.second = 0;
+        entry.first = (entry.first + 1) % lineBytes;
+    }
+}
+
+LineData
+HorizontalWearScheme::encodeData(Addr addr, const LineData &data) const
+{
+    unsigned rot = rotationOf(addr);
+    LineData rotated;
+    for (unsigned i = 0; i < lineBytes; ++i)
+        rotated[(i + rot) % lineBytes] = data[i];
+    return inner_->encodeData(addr, rotated);
+}
+
+LineData
+HorizontalWearScheme::decodeData(Addr addr, const LineData &data) const
+{
+    LineData rotated = inner_->decodeData(addr, data);
+    unsigned rot = rotationOf(addr);
+    LineData out;
+    for (unsigned i = 0; i < lineBytes; ++i)
+        out[i] = rotated[(i + rot) % lineBytes];
+    return out;
+}
+
+} // namespace ladder

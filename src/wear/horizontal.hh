@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Horizontal wear-leveling (Zhou et al., ISCA'09; DEUCE-style byte
+ * rotation): the bytes of a block rotate within the line by one mat
+ * position every R writes to that block, so hot bytes visit every mat.
+ * Implemented as a decorator around the active write scheme's data
+ * encoding; the rotation amount is tracked per block and advances at
+ * write time. No metadata address changes are needed (paper §6.4).
+ */
+
+#ifndef LADDER_WEAR_HORIZONTAL_HH
+#define LADDER_WEAR_HORIZONTAL_HH
+
+#include <memory>
+#include <unordered_map>
+
+#include "ctrl/controller.hh"
+#include "ctrl/scheme.hh"
+
+namespace ladder
+{
+
+/** Scheme decorator adding per-block byte rotation. */
+class HorizontalWearScheme : public WriteScheme
+{
+  public:
+    /**
+     * @param inner The real write scheme.
+     * @param rotatePeriod Writes to a block between rotation steps.
+     */
+    HorizontalWearScheme(std::shared_ptr<WriteScheme> inner,
+                         unsigned rotatePeriod = 4);
+
+    std::string name() const override
+    {
+        return inner_->name() + "+HWL";
+    }
+    void onWriteEnqueued(MemoryController &ctrl,
+                         WriteEntry &entry) override
+    {
+        // Advance the block's rotation before the controller encodes
+        // the payload; reads of the not-yet-written line are served by
+        // write-queue forwarding, so no stale decode is observable.
+        noteWrite(entry.addr);
+        inner_->onWriteEnqueued(ctrl, entry);
+    }
+    WriteDecision decideWrite(MemoryController &ctrl, WriteEntry &entry,
+                              const LineData &finalData) override
+    {
+        return inner_->decideWrite(ctrl, entry, finalData);
+    }
+    void onWriteComplete(MemoryController &ctrl,
+                         WriteEntry &entry) override
+    {
+        inner_->onWriteComplete(ctrl, entry);
+    }
+    bool constrainedFnw() const override
+    {
+        return inner_->constrainedFnw();
+    }
+
+    LineData encodeData(Addr addr, const LineData &data) const override;
+    LineData decodeData(Addr addr, const LineData &data) const override;
+
+    /** Advance a block's rotation; called by the write path owner. */
+    void noteWrite(Addr lineAddr);
+
+    unsigned rotationOf(Addr lineAddr) const;
+
+  private:
+    std::shared_ptr<WriteScheme> inner_;
+    unsigned rotatePeriod_;
+    /** Per-block (rotation, writes-since-rotate). */
+    mutable std::unordered_map<Addr, std::pair<unsigned, unsigned>>
+        state_;
+};
+
+} // namespace ladder
+
+#endif // LADDER_WEAR_HORIZONTAL_HH

@@ -1,0 +1,129 @@
+#include "leader.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ladder
+{
+
+LeaderRemapper::LeaderRemapper(const MemoryGeometry &geo,
+                               std::uint64_t dataPages,
+                               std::uint64_t epochWrites,
+                               unsigned nearRows)
+    : geo_(geo),
+      map_(geo),
+      dataPages_(dataPages),
+      epochWrites_(epochWrites),
+      nearRows_(nearRows)
+{
+    ladder_assert(dataPages_ > 0, "empty region");
+    ladder_assert(epochWrites_ > 0, "epoch must be positive");
+}
+
+std::uint64_t
+LeaderRemapper::mappedPage(std::uint64_t page) const
+{
+    auto it = forward_.find(page);
+    return it == forward_.end() ? page : it->second;
+}
+
+Addr
+LeaderRemapper::remap(Addr lineAddr)
+{
+    std::uint64_t page = lineAddr / MemoryGeometry::pageBytes;
+    if (page >= dataPages_)
+        return lineAddr;
+    std::uint64_t target = mappedPage(page);
+    return target * MemoryGeometry::pageBytes +
+           lineAddr % MemoryGeometry::pageBytes;
+}
+
+void
+LeaderRemapper::swapPages(std::uint64_t a, std::uint64_t b)
+{
+    // a and b are *physical* pages; rewire the logical pages that
+    // currently map onto them.
+    std::uint64_t logicalA = a, logicalB = b;
+    for (const auto &entry : forward_) {
+        if (entry.second == a)
+            logicalA = entry.first;
+        if (entry.second == b)
+            logicalB = entry.first;
+    }
+    forward_[logicalA] = b;
+    forward_[logicalB] = a;
+    if (forward_[logicalA] == logicalA)
+        forward_.erase(logicalA);
+    if (forward_[logicalB] == logicalB)
+        forward_.erase(logicalB);
+}
+
+void
+LeaderRemapper::noteDataWrite(Addr physLineAddr)
+{
+    std::uint64_t physPage =
+        physLineAddr / MemoryGeometry::pageBytes;
+    if (physPage >= dataPages_)
+        return;
+    ++epochCounts_[physPage];
+    if (++writesThisEpoch_ < epochWrites_)
+        return;
+    writesThisEpoch_ = 0;
+
+    // Hottest physical page of the epoch; migrate it if it sits on a
+    // far (slow) wordline.
+    auto hottest = std::max_element(
+        epochCounts_.begin(), epochCounts_.end(),
+        [](const auto &x, const auto &y) {
+            return x.second < y.second;
+        });
+    if (hottest == epochCounts_.end()) {
+        return;
+    }
+    std::uint64_t hotPage = hottest->first;
+    epochCounts_.clear();
+
+    BlockLocation hotLoc =
+        map_.decode(hotPage * MemoryGeometry::pageBytes);
+    if (hotLoc.wordline < nearRows_)
+        return; // already fast
+
+    // Find a near-row physical page that was cold this epoch, by
+    // scanning the page space from a rotating cursor.
+    for (std::uint64_t tried = 0; tried < dataPages_; ++tried) {
+        std::uint64_t candidate = nearCursor_;
+        nearCursor_ = (nearCursor_ + 1) % dataPages_;
+        BlockLocation loc =
+            map_.decode(candidate * MemoryGeometry::pageBytes);
+        if (loc.wordline >= nearRows_ || candidate == hotPage)
+            continue;
+        // Swap page contents (both directions) and the mapping.
+        swapPages(hotPage, candidate);
+        for (unsigned l = 0; l < MemoryGeometry::blocksPerPage; ++l) {
+            RemapMove toFast;
+            toFast.from = hotPage * MemoryGeometry::pageBytes +
+                          l * lineBytes;
+            toFast.to = candidate * MemoryGeometry::pageBytes +
+                        l * lineBytes;
+            pending_.push_back(toFast);
+            RemapMove toSlow;
+            toSlow.from = toFast.to;
+            toSlow.to = toFast.from;
+            pending_.push_back(toSlow);
+        }
+        pagesCopied += 2;
+        ++migrations_;
+        return;
+    }
+}
+
+std::vector<RemapMove>
+LeaderRemapper::collectMoves()
+{
+    std::vector<RemapMove> moves;
+    moves.swap(pending_);
+    return moves;
+}
+
+} // namespace ladder

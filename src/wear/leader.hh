@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Leader-style access-latency-aware page remapping (Zhang et al.,
+ * DATE'16; paper §8 related work): frequently written pages migrate
+ * to wordlines close to the write drivers, where RESET is inherently
+ * fast, trading page copies for permanently cheaper writes. The paper
+ * notes LADDER can incorporate such remapping on top; this remapper
+ * lets the benches quantify that.
+ */
+
+#ifndef LADDER_WEAR_LEADER_HH
+#define LADDER_WEAR_LEADER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "ctrl/controller.hh"
+#include "reram/geometry.hh"
+
+namespace ladder
+{
+
+/** Hot-page to near-wordline remapper. */
+class LeaderRemapper : public AddressRemapper
+{
+  public:
+    /**
+     * @param geo Module geometry (wordline decode).
+     * @param dataPages Pages eligible for remapping.
+     * @param epochWrites Data writes per migration decision.
+     * @param nearRows Wordline indices considered "fast" targets.
+     */
+    LeaderRemapper(const MemoryGeometry &geo, std::uint64_t dataPages,
+                   std::uint64_t epochWrites = 2000,
+                   unsigned nearRows = 64);
+
+    Addr remap(Addr lineAddr) override;
+    void noteDataWrite(Addr physLineAddr) override;
+    std::vector<RemapMove> collectMoves() override;
+
+    std::uint64_t migrations() const { return migrations_; }
+
+    StatScalar pagesCopied;
+
+  private:
+    MemoryGeometry geo_;
+    AddressMap map_;
+    std::uint64_t dataPages_;
+    std::uint64_t epochWrites_;
+    unsigned nearRows_;
+
+    /** Bidirectional page mapping (identity when absent). */
+    std::unordered_map<std::uint64_t, std::uint64_t> forward_;
+    std::unordered_map<std::uint64_t, std::uint64_t> epochCounts_;
+    std::uint64_t writesThisEpoch_ = 0;
+    std::uint64_t migrations_ = 0;
+    std::uint64_t nearCursor_ = 0; //!< next near page to consider
+    std::vector<RemapMove> pending_;
+
+    std::uint64_t mappedPage(std::uint64_t page) const;
+    void swapPages(std::uint64_t a, std::uint64_t b);
+};
+
+} // namespace ladder
+
+#endif // LADDER_WEAR_LEADER_HH

@@ -1,0 +1,55 @@
+#include "lifetime.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ladder
+{
+
+LifetimeEstimate
+estimateLifetime(
+    const std::unordered_map<std::uint64_t, std::uint32_t> &pageWrites,
+    double windowSeconds, std::uint64_t touchedPages,
+    double cellEnduranceWrites, double levelingEfficiency)
+{
+    ladder_assert(windowSeconds > 0.0, "lifetime: empty window");
+    LifetimeEstimate est;
+    for (const auto &entry : pageWrites) {
+        est.totalWrites += entry.second;
+        est.maxPageWrites = std::max<std::uint64_t>(est.maxPageWrites,
+                                                    entry.second);
+    }
+    if (est.totalWrites == 0)
+        return est;
+
+    std::uint64_t pages =
+        touchedPages ? touchedPages : pageWrites.size();
+    ladder_assert(pages > 0, "lifetime: zero pages");
+    double meanPerPage =
+        static_cast<double>(est.totalWrites) /
+        static_cast<double>(pages);
+    est.unevenness =
+        static_cast<double>(est.maxPageWrites) / meanPerPage;
+
+    constexpr double secondsPerYear = 365.25 * 24 * 3600;
+
+    // Without leveling the hottest page's hottest line dies first; a
+    // page holds 64 lines but a hot page usually concentrates on a
+    // few, so we bound with the page rate directly.
+    double worstPageRate =
+        static_cast<double>(est.maxPageWrites) / windowSeconds;
+    est.unleveledYears =
+        cellEnduranceWrites / worstPageRate / secondsPerYear;
+
+    // With leveling, writes spread across the whole leveled region at
+    // the configured efficiency.
+    double ratePerPage =
+        static_cast<double>(est.totalWrites) / windowSeconds /
+        static_cast<double>(pages);
+    est.leveledYears = cellEnduranceWrites * levelingEfficiency /
+                       ratePerPage / secondsPerYear;
+    return est;
+}
+
+} // namespace ladder

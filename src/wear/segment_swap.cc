@@ -1,0 +1,113 @@
+#include "segment_swap.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ladder
+{
+
+SegmentSwapRemapper::SegmentSwapRemapper(Addr regionBase,
+                                         unsigned segments,
+                                         std::uint64_t segmentBytes,
+                                         std::uint64_t swapPeriod,
+                                         std::uint64_t seed)
+    : base_(regionBase),
+      segments_(segments),
+      segmentBytes_(segmentBytes),
+      swapPeriod_(swapPeriod),
+      rng_(seed)
+{
+    ladder_assert(segments > 1, "need at least two segments");
+    ladder_assert(segmentBytes % MemoryGeometry::pageBytes == 0,
+                  "segments must be whole pages");
+    mapping_.resize(segments);
+    for (unsigned s = 0; s < segments; ++s)
+        mapping_[s] = s;
+    epochWrites_.assign(segments, 0);
+}
+
+Addr
+SegmentSwapRemapper::remap(Addr lineAddr)
+{
+    if (lineAddr < base_ ||
+        lineAddr >= base_ + segments_ * segmentBytes_)
+        return lineAddr;
+    std::uint64_t offset = lineAddr - base_;
+    unsigned logical = static_cast<unsigned>(offset / segmentBytes_);
+    std::uint64_t within = offset % segmentBytes_;
+    return base_ + mapping_[logical] * segmentBytes_ + within;
+}
+
+unsigned
+SegmentSwapRemapper::physSegmentOf(Addr physLineAddr) const
+{
+    return static_cast<unsigned>((physLineAddr - base_) /
+                                 segmentBytes_);
+}
+
+void
+SegmentSwapRemapper::noteDataWrite(Addr physLineAddr)
+{
+    if (physLineAddr < base_ ||
+        physLineAddr >= base_ + segments_ * segmentBytes_)
+        return;
+    ++epochWrites_[physSegmentOf(physLineAddr)];
+    if (++writesThisEpoch_ < swapPeriod_)
+        return;
+    writesThisEpoch_ = 0;
+
+    // Swap the epoch's hottest physical segment with a random cold
+    // one (below-median write count).
+    unsigned hot = static_cast<unsigned>(
+        std::max_element(epochWrites_.begin(), epochWrites_.end()) -
+        epochWrites_.begin());
+    unsigned cold = hot;
+    for (unsigned tries = 0; tries < 8 && cold == hot; ++tries) {
+        unsigned candidate =
+            static_cast<unsigned>(rng_.nextBounded(segments_));
+        if (epochWrites_[candidate] * 2 <= epochWrites_[hot])
+            cold = candidate;
+    }
+    if (cold == hot) {
+        std::fill(epochWrites_.begin(), epochWrites_.end(), 0);
+        return;
+    }
+
+    // Queue line copies for both directions. The store content swap
+    // is performed through the controller's injected writes; the
+    // mapping flips first so in-flight copies forward correctly.
+    unsigned hotLogical = 0, coldLogical = 0;
+    for (unsigned s = 0; s < segments_; ++s) {
+        if (mapping_[s] == hot)
+            hotLogical = s;
+        if (mapping_[s] == cold)
+            coldLogical = s;
+    }
+    std::swap(mapping_[hotLogical], mapping_[coldLogical]);
+    ++swaps_;
+
+    std::uint64_t lines = segmentBytes_ / lineBytes;
+    for (std::uint64_t l = 0; l < lines; ++l) {
+        RemapMove a;
+        a.from = base_ + hot * segmentBytes_ + l * lineBytes;
+        a.to = base_ + cold * segmentBytes_ + l * lineBytes;
+        pending_.push_back(a);
+        RemapMove b;
+        b.from = a.to;
+        b.to = a.from;
+        pending_.push_back(b);
+        linesCopied += 2;
+    }
+    std::fill(epochWrites_.begin(), epochWrites_.end(), 0);
+}
+
+std::vector<RemapMove>
+SegmentSwapRemapper::collectMoves()
+{
+    std::vector<RemapMove> moves;
+    moves.swap(pending_);
+    return moves;
+}
+
+} // namespace ladder

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Segment-based vertical wear-leveling (Zhou et al., ISCA'09 style):
+ * the region is divided into large segments; after every K data
+ * writes, the hottest segment of the epoch is swapped with a randomly
+ * chosen cold one, copying both segments' lines. Segment remapping
+ * preserves page-to-metadata-line locality for LADDER (paper Fig. 18b)
+ * because whole pages move together.
+ */
+
+#ifndef LADDER_WEAR_SEGMENT_SWAP_HH
+#define LADDER_WEAR_SEGMENT_SWAP_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "ctrl/controller.hh"
+
+namespace ladder
+{
+
+/** Periodic hottest/coldest segment swapper. */
+class SegmentSwapRemapper : public AddressRemapper
+{
+  public:
+    /**
+     * @param regionBase First byte of the leveled region.
+     * @param segments Number of segments.
+     * @param segmentBytes Segment size (e.g. 256KB scaled from the
+     *        papers' 1-16MB).
+     * @param swapPeriod Data writes between swaps.
+     */
+    SegmentSwapRemapper(Addr regionBase, unsigned segments,
+                        std::uint64_t segmentBytes,
+                        std::uint64_t swapPeriod,
+                        std::uint64_t seed = 7);
+
+    Addr remap(Addr lineAddr) override;
+    void noteDataWrite(Addr physLineAddr) override;
+    std::vector<RemapMove> collectMoves() override;
+
+    std::uint64_t swaps() const { return swaps_; }
+
+    StatScalar linesCopied;
+
+  private:
+    Addr base_;
+    unsigned segments_;
+    std::uint64_t segmentBytes_;
+    std::uint64_t swapPeriod_;
+    Rng rng_;
+    std::vector<unsigned> mapping_;     //!< logical -> physical seg
+    std::vector<std::uint64_t> epochWrites_; //!< per physical segment
+    std::uint64_t writesThisEpoch_ = 0;
+    std::uint64_t swaps_ = 0;
+    std::vector<RemapMove> pending_;
+
+    unsigned physSegmentOf(Addr physLineAddr) const;
+};
+
+} // namespace ladder
+
+#endif // LADDER_WEAR_SEGMENT_SWAP_HH

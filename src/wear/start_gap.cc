@@ -1,0 +1,74 @@
+#include "start_gap.hh"
+
+#include "common/log.hh"
+
+namespace ladder
+{
+
+StartGapRemapper::StartGapRemapper(Addr regionBase, std::uint64_t lines,
+                                   unsigned psi)
+    : base_(regionBase), lines_(lines), psi_(psi), gap_(lines)
+{
+    ladder_assert(regionBase % lineBytes == 0,
+                  "region base not line aligned");
+    ladder_assert(lines > 0, "empty start-gap region");
+    ladder_assert(psi > 0, "psi must be positive");
+}
+
+Addr
+StartGapRemapper::slotAddr(std::uint64_t slot) const
+{
+    return base_ + slot * lineBytes;
+}
+
+Addr
+StartGapRemapper::remap(Addr lineAddr)
+{
+    if (lineAddr < base_ ||
+        lineAddr >= base_ + lines_ * lineBytes)
+        return lineAddr; // outside the leveled region
+
+    std::uint64_t logical = (lineAddr - base_) / lineBytes;
+    // Classic Start-Gap mapping: rotate over the N logical slots,
+    // then step over the gap to land in the N+1 physical slots.
+    std::uint64_t slot = (logical + start_) % lines_;
+    if (slot >= gap_)
+        ++slot;
+    return slotAddr(slot);
+}
+
+void
+StartGapRemapper::noteDataWrite(Addr physLineAddr)
+{
+    if (physLineAddr < base_ ||
+        physLineAddr >= base_ + (lines_ + 1) * lineBytes)
+        return;
+    if (++writesSinceMove_ < psi_)
+        return;
+    writesSinceMove_ = 0;
+    ++gapMoves_;
+    // Move the gap down one slot: the line in the slot below the gap
+    // is copied into the current gap position.
+    if (gap_ == 0) {
+        // Full revolution: advance start; gap wraps to the top.
+        start_ = (start_ + 1) % lines_;
+        gap_ = lines_;
+        return;
+    }
+    RemapMove move;
+    move.from = slotAddr(gap_ - 1);
+    move.to = slotAddr(gap_);
+    pending_.push_back(move);
+    ++movesInjected;
+    --gap_;
+}
+
+std::vector<RemapMove>
+StartGapRemapper::collectMoves()
+{
+    std::vector<RemapMove> moves;
+    moves.swap(pending_);
+    return moves;
+}
+
+} // namespace ladder

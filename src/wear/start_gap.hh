@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Start-Gap vertical wear-leveling (Qureshi et al., MICRO'09). One
+ * spare "gap" line rotates through the region; every psi data writes
+ * the gap moves down by one slot (copying the displaced line), and a
+ * full revolution advances the start pointer, slowly rotating the
+ * logical-to-physical mapping so hot lines sweep the whole region.
+ */
+
+#ifndef LADDER_WEAR_START_GAP_HH
+#define LADDER_WEAR_START_GAP_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "ctrl/controller.hh"
+
+namespace ladder
+{
+
+/** Line-granularity Start-Gap remapper. */
+class StartGapRemapper : public AddressRemapper
+{
+  public:
+    /**
+     * @param regionBase First byte of the leveled region (line
+     *        aligned).
+     * @param lines Logical lines in the region (physical = lines+1,
+     *        the extra one is the gap).
+     * @param psi Data writes between gap movements (100 in the
+     *        original paper; ~1% overhead).
+     */
+    StartGapRemapper(Addr regionBase, std::uint64_t lines,
+                     unsigned psi = 100);
+
+    Addr remap(Addr lineAddr) override;
+    void noteDataWrite(Addr physLineAddr) override;
+    std::vector<RemapMove> collectMoves() override;
+
+    std::uint64_t gapMoves() const { return gapMoves_; }
+    std::uint64_t start() const { return start_; }
+    std::uint64_t gap() const { return gap_; }
+
+    StatScalar movesInjected;
+
+  private:
+    Addr base_;
+    std::uint64_t lines_;
+    unsigned psi_;
+    std::uint64_t start_ = 0;
+    std::uint64_t gap_;
+    unsigned writesSinceMove_ = 0;
+    std::uint64_t gapMoves_ = 0;
+    std::vector<RemapMove> pending_;
+
+    Addr slotAddr(std::uint64_t slot) const;
+};
+
+} // namespace ladder
+
+#endif // LADDER_WEAR_START_GAP_HH

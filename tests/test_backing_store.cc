@@ -1,0 +1,174 @@
+/** @file Tests for the content-true backing store. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "mem/backing_store.hh"
+
+namespace ladder
+{
+namespace
+{
+
+LineData
+randomLine(Rng &rng)
+{
+    LineData line;
+    for (auto &byte : line)
+        byte = static_cast<std::uint8_t>(rng.nextBounded(256));
+    return line;
+}
+
+TEST(BackingStore, ReadAfterWrite)
+{
+    BackingStore store(MemoryGeometry{}, true, 0.0);
+    Rng rng(1);
+    LineData data = randomLine(rng);
+    store.write(0x1000, data);
+    EXPECT_EQ(store.read(0x1000), data);
+}
+
+TEST(BackingStore, FreshPagesAreZeroWithoutInitializer)
+{
+    BackingStore store(MemoryGeometry{}, true, 0.0);
+    EXPECT_EQ(popcountLine(store.read(0x40)), 0u);
+}
+
+TEST(BackingStore, PageInitializerRuns)
+{
+    BackingStore store(MemoryGeometry{}, true, 0.0);
+    store.setPageInitializer(
+        [](std::uint64_t page, PageContent &content) {
+            if (page == 3)
+                content.blocks[0].fill(0xff);
+        });
+    Addr addr = 3 * MemoryGeometry::pageBytes;
+    EXPECT_EQ(popcountLine(store.read(addr)), 512u);
+    EXPECT_TRUE(store.pageResident(3));
+    EXPECT_FALSE(store.pageResident(4));
+}
+
+TEST(BackingStore, MatCountsTrackContent)
+{
+    BackingStore store(MemoryGeometry{}, true, 0.0);
+    Rng rng(2);
+    const std::uint64_t page = 7;
+    Addr base = page * MemoryGeometry::pageBytes;
+    // Write random blocks, then verify counters against a recount.
+    for (unsigned b = 0; b < 64; ++b)
+        store.write(base + b * lineBytes, randomLine(rng));
+    for (unsigned mat = 0; mat < 64; ++mat) {
+        unsigned expect = 0;
+        for (unsigned b = 0; b < 64; ++b)
+            expect += popcount8(store.read(base + b * lineBytes)[mat]);
+        EXPECT_EQ(store.matLrsCount(page, mat), expect);
+    }
+    unsigned maxCount = 0;
+    for (unsigned mat = 0; mat < 64; ++mat)
+        maxCount = std::max<unsigned>(maxCount,
+                                      store.matLrsCount(page, mat));
+    EXPECT_EQ(store.maxMatLrsCount(page), maxCount);
+}
+
+TEST(BackingStore, MatCountsSurviveOverwrites)
+{
+    BackingStore store(MemoryGeometry{}, true, 0.0);
+    Rng rng(3);
+    Addr addr = 11 * MemoryGeometry::pageBytes + 5 * lineBytes;
+    for (int i = 0; i < 20; ++i)
+        store.write(addr, randomLine(rng));
+    LineData last = store.read(addr);
+    unsigned expect = 0;
+    for (unsigned mat = 0; mat < 64; ++mat)
+        expect = std::max(expect, popcount8(last[mat]) + 0u);
+    // Only block 5 is nonzero in this page, so C_w is its worst byte.
+    EXPECT_EQ(store.maxMatLrsCount(11), expect);
+}
+
+TEST(BackingStore, BitlineCountsTrackContent)
+{
+    MemoryGeometry geo;
+    BackingStore store(geo, true, 0.0);
+    AddressMap map(geo);
+    Rng rng(4);
+    // Two pages in the same mat group share bitline counters: find
+    // two such pages.
+    BlockLocation locA = map.decode(0);
+    BlockLocation locB = locA;
+    locB.wordline = locA.wordline + 1;
+    Addr pageA = 0;
+    Addr pageB = map.encode(locB) - locB.blockInPage * lineBytes;
+
+    LineData a = randomLine(rng);
+    LineData b = randomLine(rng);
+    store.write(pageA, a);      // block 0 of page A
+    store.write(pageB, b);      // block 0 of page B
+    unsigned expect = 0;
+    for (unsigned mat = 0; mat < 64; ++mat) {
+        for (unsigned bit = 0; bit < 8; ++bit) {
+            unsigned count = ((a[mat] >> bit) & 1) +
+                             ((b[mat] >> bit) & 1);
+            expect = std::max(expect, count);
+        }
+    }
+    EXPECT_EQ(store.maxSelectedBitlineLrs(pageA), expect);
+}
+
+TEST(BackingStore, BackgroundDensityOffsetsBitlines)
+{
+    MemoryGeometry geo;
+    BackingStore dense(geo, true, 0.25);
+    BackingStore empty(geo, true, 0.0);
+    Rng rng(5);
+    LineData data = randomLine(rng);
+    dense.write(0, data);
+    empty.write(0, data);
+    unsigned background =
+        static_cast<unsigned>(0.25 * geo.matRows);
+    EXPECT_EQ(dense.maxSelectedBitlineLrs(0),
+              empty.maxSelectedBitlineLrs(0) + background);
+}
+
+TEST(BackingStore, WriteReturnsTransitions)
+{
+    BackingStore store(MemoryGeometry{}, true, 0.0);
+    LineData ones = filledLine(0xff);
+    BitTransitions t1 = store.write(0, ones);
+    EXPECT_EQ(t1.sets, 512u);
+    EXPECT_EQ(t1.resets, 0u);
+    LineData zeros = filledLine(0x00);
+    BitTransitions t2 = store.write(0, zeros);
+    EXPECT_EQ(t2.resets, 512u);
+    EXPECT_EQ(t2.sets, 0u);
+}
+
+TEST(BackingStore, FlipFlagPerBlock)
+{
+    BackingStore store(MemoryGeometry{}, true, 0.0);
+    EXPECT_FALSE(store.flipped(0x40));
+    store.setFlipped(0x40, true);
+    EXPECT_TRUE(store.flipped(0x40));
+    EXPECT_FALSE(store.flipped(0x80));
+    store.setFlipped(0x40, false);
+    EXPECT_FALSE(store.flipped(0x40));
+}
+
+TEST(BackingStore, ResidentPageCount)
+{
+    BackingStore store(MemoryGeometry{}, true, 0.0);
+    EXPECT_EQ(store.residentPages(), 0u);
+    store.read(0);
+    store.read(MemoryGeometry::pageBytes);
+    store.read(MemoryGeometry::pageBytes + lineBytes); // same page
+    EXPECT_EQ(store.residentPages(), 2u);
+}
+
+TEST(BackingStore, BitlineTrackingCanBeDisabled)
+{
+    BackingStore store(MemoryGeometry{}, false, 0.0);
+    store.write(0, filledLine(0xff));
+    EXPECT_THROW(store.maxSelectedBitlineLrs(0), std::logic_error);
+}
+
+} // namespace
+} // namespace ladder

@@ -1,0 +1,164 @@
+/** @file Unit and property tests for the bit-manipulation utilities. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+#include "common/rng.hh"
+
+namespace ladder
+{
+namespace
+{
+
+LineData
+randomLine(Rng &rng)
+{
+    LineData line;
+    for (auto &byte : line)
+        byte = static_cast<std::uint8_t>(rng.nextBounded(256));
+    return line;
+}
+
+TEST(Bitops, Popcount8)
+{
+    EXPECT_EQ(popcount8(0x00), 0u);
+    EXPECT_EQ(popcount8(0xff), 8u);
+    EXPECT_EQ(popcount8(0x0f), 4u);
+    EXPECT_EQ(popcount8(0x81), 2u);
+}
+
+TEST(Bitops, PopcountLineMatchesByteSum)
+{
+    Rng rng(1);
+    for (int i = 0; i < 50; ++i) {
+        LineData line = randomLine(rng);
+        unsigned expected = 0;
+        for (auto byte : line)
+            expected += popcount8(byte);
+        EXPECT_EQ(popcountLine(line), expected);
+    }
+}
+
+TEST(Bitops, PopcountRangeSubsets)
+{
+    Rng rng(2);
+    LineData line = randomLine(rng);
+    unsigned total = 0;
+    for (size_t start = 0; start < lineBytes; start += 16)
+        total += popcountRange(line, start, start + 16);
+    EXPECT_EQ(total, popcountLine(line));
+    EXPECT_EQ(popcountRange(line, 5, 5), 0u);
+}
+
+TEST(Bitops, MaxBytePopcount)
+{
+    LineData line = filledLine(0x00);
+    line[10] = 0x7f; // 7 ones
+    line[20] = 0x0f; // 4 ones
+    EXPECT_EQ(maxBytePopcount(line, 0, lineBytes), 7u);
+    EXPECT_EQ(maxBytePopcount(line, 16, 32), 4u);
+    EXPECT_EQ(maxBytePopcount(line, 32, 48), 0u);
+}
+
+TEST(Bitops, HammingAndTransitionsConsistent)
+{
+    Rng rng(3);
+    for (int i = 0; i < 50; ++i) {
+        LineData a = randomLine(rng);
+        LineData b = randomLine(rng);
+        BitTransitions t = countTransitions(a, b);
+        EXPECT_EQ(t.resets + t.sets, hammingLine(a, b));
+        // Popcount bookkeeping: ones(b) = ones(a) - resets + sets.
+        EXPECT_EQ(popcountLine(b),
+                  popcountLine(a) - t.resets + t.sets);
+    }
+}
+
+TEST(Bitops, InvertLine)
+{
+    Rng rng(4);
+    LineData line = randomLine(rng);
+    LineData inv = invertLine(line);
+    EXPECT_EQ(popcountLine(inv), lineBytes * 8 - popcountLine(line));
+    EXPECT_EQ(invertLine(inv), line);
+}
+
+TEST(Bitops, FilledLine)
+{
+    EXPECT_EQ(popcountLine(filledLine(0x00)), 0u);
+    EXPECT_EQ(popcountLine(filledLine(0xff)), lineBytes * 8);
+}
+
+class RotateProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(RotateProperty, RoundTripAndPopcountPreserved)
+{
+    unsigned amount = GetParam();
+    Rng rng(100 + amount);
+    for (int i = 0; i < 20; ++i) {
+        LineData line = randomLine(rng);
+        LineData original = line;
+        for (unsigned g = 0; g < lineBytes / 8; ++g)
+            rotateGroupLeft(line, g, amount);
+        EXPECT_EQ(popcountLine(line), popcountLine(original));
+        for (unsigned g = 0; g < lineBytes / 8; ++g)
+            rotateGroupRight(line, g, amount);
+        EXPECT_EQ(line, original);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAmounts, RotateProperty,
+                         ::testing::Values(0u, 1u, 7u, 8u, 13u, 32u,
+                                           63u, 64u, 65u, 200u));
+
+class TransposeProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(TransposeProperty, InvolutionAndPopcountPreserved)
+{
+    unsigned group = GetParam();
+    Rng rng(200 + group);
+    for (int i = 0; i < 20; ++i) {
+        LineData line = randomLine(rng);
+        LineData original = line;
+        transposeGroup(line, group);
+        EXPECT_EQ(popcountLine(line), popcountLine(original));
+        transposeGroup(line, group);
+        EXPECT_EQ(line, original);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGroups, TransposeProperty,
+                         ::testing::Range(0u, 8u));
+
+TEST(Bitops, TransposeSpreadsDenseByte)
+{
+    // One all-ones byte must spread exactly one bit to each byte of
+    // its group.
+    LineData line = filledLine(0x00);
+    line[3] = 0xff;
+    transposeGroup(line, 0);
+    for (unsigned byte = 0; byte < 8; ++byte)
+        EXPECT_EQ(popcount8(line[byte]), 1u) << "byte " << byte;
+    // And specifically bit 3 of every byte (row 3 became column 3).
+    for (unsigned byte = 0; byte < 8; ++byte)
+        EXPECT_TRUE(line[byte] & (1u << 3));
+}
+
+TEST(Bitops, TransposeLeavesOtherGroupsAlone)
+{
+    Rng rng(5);
+    LineData line = randomLine(rng);
+    LineData original = line;
+    transposeGroup(line, 2);
+    for (unsigned i = 0; i < lineBytes; ++i) {
+        if (i / 8 != 2)
+            EXPECT_EQ(line[i], original[i]) << "byte " << i;
+    }
+}
+
+} // namespace
+} // namespace ladder

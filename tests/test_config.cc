@@ -1,0 +1,90 @@
+/** @file Tests for the configuration store. */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+
+namespace ladder
+{
+namespace
+{
+
+TEST(Config, TypedRoundTrips)
+{
+    Config c;
+    c.setInt("a", -42);
+    c.setDouble("b", 2.5);
+    c.setBool("c", true);
+    c.set("d", "hello");
+    EXPECT_EQ(c.getInt("a", 0), -42);
+    EXPECT_DOUBLE_EQ(c.getDouble("b", 0.0), 2.5);
+    EXPECT_TRUE(c.getBool("c", false));
+    EXPECT_EQ(c.getString("d", ""), "hello");
+}
+
+TEST(Config, Fallbacks)
+{
+    Config c;
+    EXPECT_EQ(c.getInt("missing", 7), 7);
+    EXPECT_DOUBLE_EQ(c.getDouble("missing", 1.5), 1.5);
+    EXPECT_FALSE(c.getBool("missing", false));
+    EXPECT_EQ(c.getString("missing", "x"), "x");
+    EXPECT_FALSE(c.has("missing"));
+}
+
+TEST(Config, ParseArgs)
+{
+    Config c;
+    const char *argv[] = {"prog", "sim.instr=1000", "positional",
+                          "x=hello world"};
+    auto leftovers = c.parseArgs(4, argv);
+    EXPECT_EQ(leftovers, std::vector<std::string>{"positional"});
+    EXPECT_EQ(c.getInt("sim.instr", 0), 1000);
+    EXPECT_EQ(c.getString("x", ""), "hello world");
+}
+
+TEST(Config, BadIntegerIsFatal)
+{
+    Config c;
+    c.set("n", "abc");
+    EXPECT_THROW(c.getInt("n", 0), std::runtime_error);
+}
+
+TEST(Config, BadBoolIsFatal)
+{
+    Config c;
+    c.set("b", "maybe");
+    EXPECT_THROW(c.getBool("b", false), std::runtime_error);
+}
+
+TEST(Config, BoolSpellings)
+{
+    Config c;
+    c.set("a", "1");
+    c.set("b", "no");
+    c.set("d", "yes");
+    EXPECT_TRUE(c.getBool("a", false));
+    EXPECT_FALSE(c.getBool("b", true));
+    EXPECT_TRUE(c.getBool("d", false));
+}
+
+TEST(Config, KeysSorted)
+{
+    Config c;
+    c.setInt("z", 1);
+    c.setInt("a", 2);
+    c.setInt("m", 3);
+    auto keys = c.keys();
+    EXPECT_EQ(keys, (std::vector<std::string>{"a", "m", "z"}));
+}
+
+TEST(Config, OverwriteWins)
+{
+    Config c;
+    c.setInt("k", 1);
+    c.setInt("k", 2);
+    EXPECT_EQ(c.getInt("k", 0), 2);
+}
+
+} // namespace
+} // namespace ladder

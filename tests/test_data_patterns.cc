@@ -1,0 +1,125 @@
+/** @file Tests for the memory-content pattern models. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hh"
+#include "trace/data_patterns.hh"
+
+namespace ladder
+{
+namespace
+{
+
+double
+measuredDensity(const DataPatternModel &model, int lines = 500)
+{
+    Rng rng(17);
+    std::uint64_t ones = 0;
+    for (int i = 0; i < lines; ++i)
+        ones += popcountLine(model.generateLine(rng));
+    return static_cast<double>(ones) /
+           (static_cast<double>(lines) * lineBytes);
+}
+
+TEST(DataPatterns, ZeroClassIsNearlyEmpty)
+{
+    DataPatternModel model(PatternMix{1, 0, 0, 0, 0, 0});
+    EXPECT_LT(measuredDensity(model), 0.2);
+}
+
+TEST(DataPatterns, RandomClassIsDense)
+{
+    DataPatternModel model(PatternMix{0, 0, 0, 0, 0, 1});
+    EXPECT_NEAR(measuredDensity(model), 3.8, 0.4);
+}
+
+TEST(DataPatterns, ClassDensityOrdering)
+{
+    double zero =
+        measuredDensity(DataPatternModel({1, 0, 0, 0, 0, 0}));
+    double ints =
+        measuredDensity(DataPatternModel({0, 1, 0, 0, 0, 0}));
+    double fp = measuredDensity(DataPatternModel({0, 0, 1, 0, 0, 0}));
+    double rnd =
+        measuredDensity(DataPatternModel({0, 0, 0, 0, 0, 1}));
+    EXPECT_LT(zero, ints);
+    EXPECT_LT(ints, rnd);
+    EXPECT_LT(fp, rnd);
+}
+
+TEST(DataPatterns, TextIsPrintable)
+{
+    DataPatternModel model(PatternMix{0, 0, 0, 0, 1, 0});
+    Rng rng(3);
+    LineData line = model.generateLine(rng);
+    for (auto byte : line) {
+        if (byte == 0)
+            continue; // empty slots allowed
+        EXPECT_GE(byte, 0x20);
+        EXPECT_LE(byte, 0x7e);
+    }
+}
+
+TEST(DataPatterns, PointersAreCanonical)
+{
+    DataPatternModel model(PatternMix{0, 0, 0, 1, 0, 0});
+    Rng rng(4);
+    for (int i = 0; i < 20; ++i) {
+        LineData line = model.generateLine(rng);
+        for (unsigned w = 0; w < 8; ++w) {
+            std::uint64_t word;
+            std::memcpy(&word, line.data() + w * 8, 8);
+            if (word == 0)
+                continue; // null pointer
+            EXPECT_EQ(word >> 40, 0x7full) << "word " << w;
+            EXPECT_EQ(word & 7, 0u); // aligned
+        }
+    }
+}
+
+TEST(DataPatterns, WordsMatchLineDistribution)
+{
+    DataPatternModel model(PatternMix{0, 1, 0, 0, 0, 0});
+    Rng rng(5);
+    double total = 0.0;
+    constexpr int draws = 500;
+    for (int i = 0; i < draws; ++i) {
+        auto word = model.generateWord(rng);
+        unsigned ones = 0;
+        for (auto b : word)
+            ones += popcount8(b);
+        // Negative ints sign-extend to dense words; positives are
+        // sparse.
+        EXPECT_LE(ones, 64u);
+        total += ones;
+    }
+    EXPECT_LT(total / draws, 20.0);
+}
+
+TEST(DataPatterns, Deterministic)
+{
+    DataPatternModel model(PatternMix{1, 1, 1, 1, 1, 1});
+    Rng a(9), b(9);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(model.generateLine(a), model.generateLine(b));
+}
+
+TEST(DataPatterns, ZeroTotalWeightRejected)
+{
+    EXPECT_THROW(DataPatternModel(PatternMix{}), std::logic_error);
+}
+
+TEST(DataPatterns, ExpectedDensityTracksMeasured)
+{
+    DataPatternModel model(PatternMix{2, 2, 2, 1, 1, 0.5});
+    double expect = model.expectedDensity(); // ones per byte
+    double measured = measuredDensity(model);
+    // The estimate is coarse; require the right order of magnitude.
+    EXPECT_GT(measured, 0.25 * expect);
+    EXPECT_LT(measured, 2.5 * expect);
+}
+
+} // namespace
+} // namespace ladder

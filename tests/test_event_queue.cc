@@ -1,0 +1,125 @@
+/** @file Tests for the discrete-event kernel. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/event_queue.hh"
+
+namespace ladder
+{
+namespace
+{
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&]() { order.push_back(3); });
+    q.schedule(10, [&]() { order.push_back(1); });
+    q.schedule(20, [&]() { order.push_back(2); });
+    q.runUntil();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickPriorityThenFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&]() { order.push_back(1); }, 1);
+    q.schedule(5, [&]() { order.push_back(0); }, 0);
+    q.schedule(5, [&]() { order.push_back(2); }, 1);
+    q.runUntil();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue q;
+    Tick seen = 0;
+    q.schedule(100, [&]() {
+        q.scheduleIn(50, [&]() { seen = q.now(); });
+    });
+    q.runUntil();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, DescheduleSkipsEvent)
+{
+    EventQueue q;
+    bool ran = false;
+    EventId id = q.schedule(10, [&]() { ran = true; });
+    q.deschedule(id);
+    EXPECT_TRUE(q.empty());
+    q.runUntil();
+    EXPECT_FALSE(ran);
+    // Double deschedule is safe.
+    q.deschedule(id);
+}
+
+TEST(EventQueue, RunUntilLimit)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(10, [&]() { ++count; });
+    q.schedule(20, [&]() { ++count; });
+    q.schedule(30, [&]() { ++count; });
+    EXPECT_EQ(q.runUntil(20), 2u);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(q.now(), 20u);
+    EXPECT_EQ(q.pending(), 1u);
+    q.runUntil();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> recurse = [&]() {
+        if (++depth < 5)
+            q.scheduleIn(1, recurse);
+    };
+    q.schedule(0, recurse);
+    q.runUntil();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(q.now(), 4u);
+}
+
+TEST(EventQueue, StepExecutesOne)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(1, [&]() { ++count; });
+    q.schedule(2, [&]() { ++count; });
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(q.step());
+    EXPECT_FALSE(q.step());
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, ExecutedCounter)
+{
+    EventQueue q;
+    for (int i = 0; i < 7; ++i)
+        q.schedule(i, []() {});
+    q.runUntil();
+    EXPECT_EQ(q.executed(), 7u);
+}
+
+TEST(EventQueue, ZeroDelaySameTick)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&]() {
+        order.push_back(1);
+        q.schedule(5, [&]() { order.push_back(2); });
+    });
+    q.runUntil();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+} // namespace
+} // namespace ladder

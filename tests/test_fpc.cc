@@ -1,0 +1,102 @@
+/** @file Tests for the FPC compressor used by Split-reset. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hh"
+#include "schemes/fpc.hh"
+
+namespace ladder
+{
+namespace
+{
+
+LineData
+lineOfWords(std::uint32_t word)
+{
+    LineData line;
+    for (unsigned i = 0; i < lineBytes / 4; ++i)
+        std::memcpy(line.data() + i * 4, &word, 4);
+    return line;
+}
+
+TEST(Fpc, ZeroLineIsTiny)
+{
+    LineData zeros = filledLine(0x00);
+    // Zero runs share prefixes: two (prefix + runlen) tokens per 8
+    // words.
+    EXPECT_LE(fpcCompressedBits(zeros), 16u * 6);
+    EXPECT_TRUE(fpcCompressible(zeros));
+}
+
+TEST(Fpc, SmallSignedIntsCompress)
+{
+    EXPECT_TRUE(fpcCompressible(lineOfWords(7)));
+    EXPECT_TRUE(fpcCompressible(
+        lineOfWords(static_cast<std::uint32_t>(-3))));
+    EXPECT_TRUE(fpcCompressible(lineOfWords(100)));
+    // 16-bit sign-extended: 19 bits/word, compressed but above the
+    // half-line threshold.
+    EXPECT_EQ(fpcCompressedBits(
+                  lineOfWords(static_cast<std::uint32_t>(-30000))),
+              16u * 19);
+}
+
+TEST(Fpc, RepeatedBytesCompress)
+{
+    EXPECT_TRUE(fpcCompressible(lineOfWords(0xabababab)));
+}
+
+TEST(Fpc, HalfwordZeroPaddedCompresses)
+{
+    EXPECT_EQ(fpcCompressedBits(lineOfWords(0x12340000)), 16u * 19);
+    EXPECT_TRUE(fpcCompressible(lineOfWords(0x12340000), 40));
+}
+
+TEST(Fpc, RandomDataDoesNotCompress)
+{
+    Rng rng(3);
+    LineData line;
+    for (auto &byte : line)
+        byte = static_cast<std::uint8_t>(rng.nextBounded(256));
+    // 16 words x (3 + 32) bits > 512 bits.
+    EXPECT_FALSE(fpcCompressible(line));
+}
+
+TEST(Fpc, UncompressedWordCost)
+{
+    LineData line = lineOfWords(0x9e3779b9);
+    EXPECT_EQ(fpcCompressedBits(line), 16u * (3 + 32));
+}
+
+TEST(Fpc, MixedLineThreshold)
+{
+    // Half compressible, half random: lands near the threshold.
+    Rng rng(4);
+    LineData line = filledLine(0x00);
+    for (unsigned i = lineBytes / 2; i < lineBytes; ++i)
+        line[i] = static_cast<std::uint8_t>(rng.nextBounded(256));
+    unsigned bits = fpcCompressedBits(line);
+    EXPECT_GT(bits, 8u * 35); // second half mostly uncompressed
+    EXPECT_LT(bits, 16u * 35);
+}
+
+TEST(Fpc, ThresholdParameter)
+{
+    LineData line = lineOfWords(0x00007fff); // 16-bit sign-extended
+    unsigned bits = fpcCompressedBits(line);
+    EXPECT_EQ(bits, 16u * (3 + 16));
+    EXPECT_TRUE(fpcCompressible(line, 40));
+    EXPECT_FALSE(fpcCompressible(line, 30));
+}
+
+TEST(Fpc, ZeroRunLengthCapped)
+{
+    // A full line of zeros uses ceil(16/8) = 2 run tokens.
+    LineData zeros = filledLine(0x00);
+    EXPECT_EQ(fpcCompressedBits(zeros), 2u * 6);
+}
+
+} // namespace
+} // namespace ladder

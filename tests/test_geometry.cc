@@ -1,0 +1,145 @@
+/** @file Tests for memory geometry and address decoding. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "reram/geometry.hh"
+
+namespace ladder
+{
+namespace
+{
+
+TEST(Geometry, CapacityArithmetic)
+{
+    MemoryGeometry geo;
+    EXPECT_EQ(geo.totalBanks(), 2u * 2u * 8u);
+    EXPECT_EQ(geo.pagesPerBank(), 64ull * 512ull);
+    EXPECT_EQ(geo.capacityBytes(),
+              geo.totalBanks() * geo.pagesPerBank() * 4096ull);
+}
+
+TEST(Geometry, DecodeFieldsInRange)
+{
+    MemoryGeometry geo;
+    AddressMap map(geo);
+    Rng rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        Addr addr = rng.nextBounded(map.totalPages()) *
+                        MemoryGeometry::pageBytes +
+                    rng.nextBounded(64) * lineBytes;
+        BlockLocation loc = map.decode(addr);
+        EXPECT_LT(loc.channel, geo.channels);
+        EXPECT_LT(loc.rank, geo.ranksPerChannel);
+        EXPECT_LT(loc.bank, geo.banksPerRank);
+        EXPECT_LT(loc.matGroup, geo.matGroupsPerBank);
+        EXPECT_LT(loc.wordline, geo.matRows);
+        EXPECT_LT(loc.blockInPage, 64u);
+        EXPECT_LE(loc.worstBitline(), 511u);
+    }
+}
+
+class DecodeEncodeRoundTrip
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(DecodeEncodeRoundTrip, Bijective)
+{
+    MemoryGeometry geo;
+    AddressMap map(geo);
+    Rng rng(GetParam());
+    for (int i = 0; i < 500; ++i) {
+        Addr addr = rng.nextBounded(map.totalPages()) *
+                        MemoryGeometry::pageBytes +
+                    rng.nextBounded(64) * lineBytes;
+        BlockLocation loc = map.decode(addr);
+        EXPECT_EQ(map.encode(loc), addr);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecodeEncodeRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(Geometry, PagesInterleaveChannelsFirst)
+{
+    MemoryGeometry geo;
+    AddressMap map(geo);
+    BlockLocation a = map.decode(0);
+    BlockLocation b = map.decode(MemoryGeometry::pageBytes);
+    EXPECT_NE(a.channel, b.channel);
+}
+
+TEST(Geometry, SmallFootprintsSweepWordlinesAndSubarrays)
+{
+    // Even small working sets must exercise (a) a large part of the
+    // wordline (location) range and (b) many concurrent
+    // (bank, subarray) slots.
+    MemoryGeometry geo;
+    AddressMap map(geo);
+    std::set<unsigned> wordlines;
+    std::set<unsigned> slots;
+    for (std::uint64_t p = 0; p < 1024; ++p) {
+        BlockLocation loc =
+            map.decode(p * MemoryGeometry::pageBytes);
+        wordlines.insert(loc.wordline);
+        slots.insert(((loc.rank * geo.banksPerRank + loc.bank) << 8) |
+                     (loc.matGroup % 4));
+    }
+    EXPECT_GT(wordlines.size(), 250u);
+    EXPECT_EQ(slots.size(), 64u); // 16 banks x 4 subarrays
+    // A larger footprint reaches every wordline.
+    for (std::uint64_t p = 1024; p < 40000; ++p)
+        wordlines.insert(
+            map.decode(p * MemoryGeometry::pageBytes).wordline);
+    EXPECT_EQ(wordlines.size(), 512u);
+}
+
+TEST(Geometry, BlocksOfAPageShareWordlineAndBank)
+{
+    MemoryGeometry geo;
+    AddressMap map(geo);
+    Addr page = 12345 * MemoryGeometry::pageBytes;
+    BlockLocation first = map.decode(page);
+    for (unsigned b = 1; b < 64; ++b) {
+        BlockLocation loc = map.decode(page + b * lineBytes);
+        EXPECT_EQ(loc.wordline, first.wordline);
+        EXPECT_EQ(loc.channel, first.channel);
+        EXPECT_EQ(loc.bank, first.bank);
+        EXPECT_EQ(loc.matGroup, first.matGroup);
+        EXPECT_EQ(loc.blockInPage, b);
+    }
+}
+
+TEST(Geometry, WorstBitlineOfLastBlock)
+{
+    BlockLocation loc;
+    loc.blockInPage = 63;
+    EXPECT_EQ(loc.worstBitline(), 511u);
+}
+
+TEST(Geometry, FlatBankUnique)
+{
+    MemoryGeometry geo;
+    AddressMap map(geo);
+    std::set<unsigned> banks;
+    for (std::uint64_t p = 0; p < geo.totalBanks() * 2; ++p)
+        banks.insert(map.decode(p * MemoryGeometry::pageBytes)
+                         .flatBank(geo));
+    // Pages sweep wordlines before banks within a channel, so the
+    // first pages only cover the channels.
+    EXPECT_GE(banks.size(), geo.channels);
+}
+
+TEST(Geometry, OutOfRangeAddressPanics)
+{
+    MemoryGeometry geo;
+    AddressMap map(geo);
+    Addr beyond = map.totalPages() * MemoryGeometry::pageBytes;
+    EXPECT_THROW(map.decode(beyond), std::logic_error);
+}
+
+} // namespace
+} // namespace ladder

@@ -1,0 +1,243 @@
+/** @file Tests for the three-level cache hierarchy. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <unordered_map>
+
+#include "cache/hierarchy.hh"
+#include "common/rng.hh"
+
+namespace ladder
+{
+namespace
+{
+
+HierarchyParams
+tinyParams(unsigned cores = 1)
+{
+    HierarchyParams p;
+    p.l1 = CacheParams{4 * lineBytes, 2};
+    p.l2 = CacheParams{16 * lineBytes, 2};
+    p.l3 = CacheParams{64 * lineBytes, 4};
+    p.cores = cores;
+    return p;
+}
+
+LineData
+byteLine(std::uint8_t v)
+{
+    return filledLine(v);
+}
+
+TEST(Hierarchy, FillThenReadHitsL1)
+{
+    CacheHierarchy h(tinyParams());
+    std::vector<Writeback> wbs;
+    h.fill(0, 0, byteLine(5), wbs);
+    auto hit = h.read(0, 0, wbs);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->data, byteLine(5));
+    EXPECT_EQ(hit->latencyNs, h.params().l1HitNs);
+}
+
+TEST(Hierarchy, MissReturnsNullopt)
+{
+    CacheHierarchy h(tinyParams());
+    std::vector<Writeback> wbs;
+    EXPECT_FALSE(h.read(0, 4096, wbs).has_value());
+}
+
+TEST(Hierarchy, L2AndL3HitLatencies)
+{
+    CacheHierarchy h(tinyParams());
+    std::vector<Writeback> wbs;
+    h.fill(0, 0, byteLine(1), wbs);
+    // Evict from L1 by filling its set (4-line L1, 2 sets).
+    unsigned l1Sets = h.l1(0).sets();
+    h.fill(0, (0 + 1 * l1Sets) * lineBytes, byteLine(2), wbs);
+    h.fill(0, (0 + 2 * l1Sets) * lineBytes, byteLine(3), wbs);
+    ASSERT_FALSE(h.l1(0).contains(0));
+    auto hit = h.read(0, 0, wbs);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->latencyNs, h.params().l2HitNs);
+    // Promoted back into L1.
+    EXPECT_TRUE(h.l1(0).contains(0));
+}
+
+TEST(Hierarchy, StoreMakesLineDirtyInL1)
+{
+    CacheHierarchy h(tinyParams());
+    std::vector<Writeback> wbs;
+    h.fill(0, 0, byteLine(0), wbs);
+    std::uint8_t bytes[8] = {9, 9, 9, 9, 9, 9, 9, 9};
+    auto lat = h.write(0, 0, 8, bytes, wbs);
+    ASSERT_TRUE(lat.has_value());
+    EXPECT_TRUE(h.l1(0).isDirty(0));
+    auto hit = h.read(0, 0, wbs);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->data[8], 9);
+    EXPECT_EQ(hit->data[0], 0);
+}
+
+TEST(Hierarchy, StoreMissReturnsNullopt)
+{
+    CacheHierarchy h(tinyParams());
+    std::vector<Writeback> wbs;
+    std::uint8_t bytes[8] = {};
+    EXPECT_FALSE(h.write(0, 0, 0, bytes, wbs).has_value());
+}
+
+TEST(Hierarchy, DirtyDataSurvivesEvictionCascade)
+{
+    CacheHierarchy h(tinyParams());
+    std::vector<Writeback> wbs;
+    h.fill(0, 0, byteLine(0), wbs);
+    std::uint8_t bytes[8] = {7, 7, 7, 7, 7, 7, 7, 7};
+    ASSERT_TRUE(h.write(0, 0, 0, bytes, wbs).has_value());
+    // Push the dirty line out of L1 (same set traffic).
+    unsigned l1Sets = h.l1(0).sets();
+    for (unsigned n = 1; n <= 2; ++n)
+        h.fill(0, n * l1Sets * lineBytes, byteLine(9), wbs);
+    ASSERT_FALSE(h.l1(0).contains(0));
+    // The dirty data must be readable (from L2) unchanged.
+    auto hit = h.read(0, 0, wbs);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->data[0], 7);
+}
+
+TEST(Hierarchy, FillNeverClobbersNewerDirtyData)
+{
+    // Regression: a late fill (e.g. a second outstanding miss) must
+    // not overwrite a line a store already modified.
+    CacheHierarchy h(tinyParams());
+    std::vector<Writeback> wbs;
+    h.fill(0, 0, byteLine(1), wbs);
+    std::uint8_t bytes[8] = {42, 42, 42, 42, 42, 42, 42, 42};
+    ASSERT_TRUE(h.write(0, 0, 0, bytes, wbs).has_value());
+    h.fill(0, 0, byteLine(1), wbs); // stale duplicate fill
+    auto hit = h.read(0, 0, wbs);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->data[0], 42);
+}
+
+TEST(Hierarchy, L3EvictionsReachMemory)
+{
+    CacheHierarchy h(tinyParams());
+    std::vector<Writeback> wbs;
+    std::uint8_t bytes[8] = {3, 3, 3, 3, 3, 3, 3, 3};
+    // Dirty many distinct lines; eventually L3 must evict dirty data.
+    for (unsigned i = 0; i < 200; ++i) {
+        Addr addr = i * lineBytes;
+        h.fill(0, addr, byteLine(0), wbs);
+        auto lat = h.write(0, addr, 0, bytes, wbs);
+        ASSERT_TRUE(lat.has_value());
+    }
+    EXPECT_FALSE(wbs.empty());
+    for (auto &wb : wbs)
+        EXPECT_EQ(wb.second[0], 3);
+}
+
+TEST(Hierarchy, FlushAllDrainsEveryDirtyLine)
+{
+    CacheHierarchy h(tinyParams());
+    std::vector<Writeback> wbs;
+    std::uint8_t bytes[8] = {5, 5, 5, 5, 5, 5, 5, 5};
+    std::set<Addr> dirtied;
+    for (unsigned i = 0; i < 12; ++i) {
+        Addr addr = i * lineBytes;
+        h.fill(0, addr, byteLine(0), wbs);
+        ASSERT_TRUE(h.write(0, addr, 0, bytes, wbs).has_value());
+        dirtied.insert(addr);
+    }
+    auto flushed = h.flushAll();
+    for (auto &wb : flushed)
+        wbs.push_back(wb);
+    std::set<Addr> seen;
+    for (auto &wb : wbs) {
+        if (dirtied.count(wb.first)) {
+            EXPECT_EQ(wb.second[0], 5);
+            seen.insert(wb.first);
+        }
+    }
+    EXPECT_EQ(seen, dirtied);
+}
+
+TEST(Hierarchy, CoresHavePrivateL1L2SharedL3)
+{
+    CacheHierarchy h(tinyParams(2));
+    std::vector<Writeback> wbs;
+    h.fill(0, 0, byteLine(1), wbs);
+    // Core 1's private levels missed, but L3 is shared.
+    EXPECT_FALSE(h.l1(1).contains(0));
+    EXPECT_FALSE(h.l2(1).contains(0));
+    auto hit = h.read(1, 0, wbs);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->latencyNs, h.params().l3HitNs);
+}
+
+TEST(Hierarchy, RandomTrafficContentMatchesReference)
+{
+    CacheHierarchy h(tinyParams());
+    std::unordered_map<Addr, LineData> memory; // reference backing
+    std::vector<Writeback> wbs;
+    Rng rng(13);
+    auto backingOf = [&](Addr addr) -> LineData {
+        auto it = memory.find(addr);
+        return it == memory.end() ? filledLine(0) : it->second;
+    };
+    for (int i = 0; i < 3000; ++i) {
+        Addr addr = rng.nextBounded(64) * lineBytes;
+        wbs.clear();
+        if (rng.nextBool(0.4)) {
+            std::uint8_t bytes[8];
+            for (auto &b : bytes)
+                b = static_cast<std::uint8_t>(rng.nextBounded(256));
+            unsigned offset =
+                static_cast<unsigned>(rng.nextBounded(8)) * 8;
+            if (!h.write(0, addr, offset, bytes, wbs)) {
+                h.fill(0, addr, backingOf(addr), wbs);
+                ASSERT_TRUE(
+                    h.write(0, addr, offset, bytes, wbs));
+            }
+        } else {
+            auto hit = h.read(0, addr, wbs);
+            if (!hit) {
+                h.fill(0, addr, backingOf(addr), wbs);
+                hit = h.read(0, addr, wbs);
+                ASSERT_TRUE(hit.has_value());
+            }
+        }
+        for (auto &wb : wbs)
+            memory[wb.first] = wb.second;
+    }
+    // Drain and compare every line against a flat replay.
+    for (auto &wb : h.flushAll())
+        memory[wb.first] = wb.second;
+    // Re-run the same traffic on a flat model to get expectations.
+    std::unordered_map<Addr, LineData> flat;
+    Rng rng2(13);
+    for (int i = 0; i < 3000; ++i) {
+        Addr addr = rng2.nextBounded(64) * lineBytes;
+        if (rng2.nextBool(0.4)) {
+            std::uint8_t bytes[8];
+            for (auto &b : bytes)
+                b = static_cast<std::uint8_t>(rng2.nextBounded(256));
+            unsigned offset =
+                static_cast<unsigned>(rng2.nextBounded(8)) * 8;
+            auto &line = flat.try_emplace(addr, filledLine(0))
+                             .first->second;
+            std::memcpy(line.data() + offset, bytes, 8);
+        }
+    }
+    for (auto &entry : flat) {
+        ASSERT_TRUE(memory.count(entry.first))
+            << "addr " << entry.first;
+        EXPECT_EQ(memory[entry.first], entry.second)
+            << "addr " << entry.first;
+    }
+}
+
+} // namespace
+} // namespace ladder

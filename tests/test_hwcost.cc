@@ -1,0 +1,82 @@
+/** @file Tests for the Table-4 hardware cost model. */
+
+#include <gtest/gtest.h>
+
+#include "hwcost/hwcost.hh"
+
+namespace ladder
+{
+namespace
+{
+
+TEST(HwCost, UpdateModuleNearPaper)
+{
+    ModuleCost c = updateModuleCost();
+    // Paper Table 4: 0.0061 mm^2, 3.71 mW, 0.17 ns.
+    EXPECT_NEAR(c.areaMm2, 0.0061, 0.0031);
+    EXPECT_NEAR(c.powerMw, 3.71, 1.9);
+    EXPECT_NEAR(c.latencyNs, 0.17, 0.09);
+}
+
+TEST(HwCost, QueryModuleNearPaper)
+{
+    ModuleCost c = queryModuleCost();
+    // Paper Table 4: 0.0047 mm^2, 6.57 mW, 0.32 ns.
+    EXPECT_NEAR(c.areaMm2, 0.0047, 0.0024);
+    EXPECT_NEAR(c.powerMw, 6.57, 3.3);
+    EXPECT_NEAR(c.latencyNs, 0.32, 0.16);
+}
+
+TEST(HwCost, MetadataCacheAnchoredAtPaperPoint)
+{
+    ModuleCost c = metadataCacheCost(64 * 1024);
+    EXPECT_DOUBLE_EQ(c.areaMm2, 0.2442);
+    EXPECT_DOUBLE_EQ(c.powerMw, 48.83);
+    EXPECT_DOUBLE_EQ(c.latencyNs, 0.81);
+}
+
+TEST(HwCost, CacheScalingMonotone)
+{
+    ModuleCost small = metadataCacheCost(32 * 1024);
+    ModuleCost large = metadataCacheCost(128 * 1024);
+    EXPECT_LT(small.areaMm2, large.areaMm2);
+    EXPECT_LT(small.powerMw, large.powerMw);
+    EXPECT_LT(small.latencyNs, large.latencyNs);
+    EXPECT_NEAR(large.areaMm2 / small.areaMm2, 4.0, 1e-9);
+}
+
+TEST(HwCost, LatenciesBelowProcessorCycle)
+{
+    // Paper: logic latencies are below the 3.2GHz clock (0.3125 ns)...
+    EXPECT_LT(updateModuleCost().latencyNs, 0.3125);
+    // ...while the query module is pipelined over two cycles.
+    EXPECT_LT(queryModuleCost().latencyNs, 2 * 0.3125);
+}
+
+TEST(HwCost, TimingTableStorageSmall)
+{
+    ModuleCost c = timingTableCost(8);
+    EXPECT_LT(c.areaMm2, 0.05);
+    EXPECT_NE(c.name.find("512B"), std::string::npos);
+}
+
+TEST(HwCost, Table4HasThreeRows)
+{
+    auto rows = table4();
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].name, "LRS-metadata Update Module");
+    EXPECT_EQ(rows[1].name, "Latency Query Module");
+    EXPECT_NE(rows[2].name.find("64KB"), std::string::npos);
+}
+
+TEST(HwCost, AreaNegligibleVsProcessor)
+{
+    // Paper argues total overhead is tiny vs a 263 mm^2 processor.
+    double total = 0.0;
+    for (const auto &row : table4())
+        total += row.areaMm2;
+    EXPECT_LT(total / 263.0, 0.002);
+}
+
+} // namespace
+} // namespace ladder

@@ -1,0 +1,86 @@
+/** @file Tests for the RESET latency law. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/latency.hh"
+
+namespace ladder
+{
+namespace
+{
+
+TEST(LatencyLaw, CalibrationEndpoints)
+{
+    auto law = ResetLatencyLaw::calibrate(2.8, 2.2, 29.0, 658.0);
+    EXPECT_NEAR(law.latencyNs(2.8), 29.0, 1e-6);
+    EXPECT_NEAR(law.latencyNs(2.2), 658.0, 1e-6);
+}
+
+TEST(LatencyLaw, MonotoneDecreasingInDrop)
+{
+    auto law = ResetLatencyLaw::calibrate(2.8, 2.2);
+    double prev = 1e9;
+    for (double v = 2.0; v <= 3.0; v += 0.05) {
+        double t = law.latencyNs(v);
+        EXPECT_LE(t, prev);
+        prev = t;
+    }
+}
+
+TEST(LatencyLaw, ClampsOutsideEnvelope)
+{
+    auto law = ResetLatencyLaw::calibrate(2.8, 2.2, 29.0, 658.0);
+    EXPECT_DOUBLE_EQ(law.latencyNs(3.5), 29.0);
+    EXPECT_DOUBLE_EQ(law.latencyNs(0.5), 658.0);
+}
+
+TEST(LatencyLaw, ExponentialShape)
+{
+    auto law = ResetLatencyLaw::calibrate(2.8, 2.2, 29.0, 658.0);
+    // Equal voltage steps multiply latency by a constant factor.
+    double r1 = law.latencyNs(2.4) / law.latencyNs(2.5);
+    double r2 = law.latencyNs(2.5) / law.latencyNs(2.6);
+    EXPECT_NEAR(r1, r2, 1e-9);
+    EXPECT_GT(r1, 1.0);
+}
+
+TEST(LatencyLaw, PaperSensitivity)
+{
+    // The paper quotes ~10x slowdown for a 0.4V reduction in drop;
+    // our calibrated k should be in that regime (k ~ ln(10)/0.4).
+    auto law = ResetLatencyLaw::calibrate(2.835, 2.174, 29.0, 658.0);
+    EXPECT_GT(law.kPerVolt, 3.0);
+    EXPECT_LT(law.kPerVolt, 8.0);
+}
+
+TEST(LatencyLaw, ShrinkDynamicRange)
+{
+    auto law = ResetLatencyLaw::calibrate(2.8, 2.2, 29.0, 658.0);
+    auto shrunk = law.shrinkDynamicRange(2.0);
+    // Anchored at the slow end: the worst-case spec is unchanged and
+    // the best case degrades toward it.
+    EXPECT_DOUBLE_EQ(shrunk.slowNs, 658.0);
+    EXPECT_NEAR(shrunk.fastNs, 658.0 - (658.0 - 29.0) / 2.0, 1e-9);
+    EXPECT_NEAR(shrunk.latencyNs(2.8), shrunk.fastNs, 1e-6);
+    EXPECT_NEAR(shrunk.latencyNs(2.2), 658.0, 1e-6);
+    // Every operating point is slower than under the nominal law.
+    EXPECT_GT(shrunk.latencyNs(2.5), law.latencyNs(2.5));
+}
+
+TEST(LatencyLaw, ShrinkFactorOneIsIdentityShape)
+{
+    auto law = ResetLatencyLaw::calibrate(2.8, 2.2, 29.0, 658.0);
+    auto same = law.shrinkDynamicRange(1.0);
+    EXPECT_NEAR(same.latencyNs(2.5), law.latencyNs(2.5), 1e-6);
+}
+
+TEST(LatencyLaw, BadCalibrationIsRejected)
+{
+    EXPECT_THROW(ResetLatencyLaw::calibrate(2.2, 2.8),
+                 std::logic_error);
+    EXPECT_THROW(ResetLatencyLaw::calibrate(2.8, 2.2, 100.0, 50.0),
+                 std::logic_error);
+}
+
+} // namespace
+} // namespace ladder

@@ -1,0 +1,118 @@
+/** @file Tests for the Leader hot-page remapper. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/experiment.hh"
+#include "wear/leader.hh"
+
+namespace ladder
+{
+namespace
+{
+
+TEST(Leader, IdentityUntilMigration)
+{
+    MemoryGeometry geo;
+    LeaderRemapper remap(geo, 1 << 20, 100, 64);
+    for (Addr addr : {0ull, 4096ull, 999936ull})
+        EXPECT_EQ(remap.remap(addr), addr);
+}
+
+TEST(Leader, HotFarPageMigratesToNearRow)
+{
+    MemoryGeometry geo;
+    AddressMap map(geo);
+    LeaderRemapper remap(geo, 1 << 20, 50, 64);
+    // Find a page on a far wordline and hammer it.
+    std::uint64_t farPage = 0;
+    for (std::uint64_t p = 0;; ++p) {
+        if (map.decode(p * MemoryGeometry::pageBytes).wordline >=
+            400) {
+            farPage = p;
+            break;
+        }
+    }
+    Addr hotAddr = farPage * MemoryGeometry::pageBytes;
+    for (int i = 0; i < 50; ++i)
+        remap.noteDataWrite(hotAddr);
+    EXPECT_EQ(remap.migrations(), 1u);
+    Addr newAddr = remap.remap(hotAddr);
+    EXPECT_NE(newAddr, hotAddr);
+    EXPECT_LT(map.decode(newAddr).wordline, 64u);
+    // The move list swaps whole pages in both directions.
+    auto moves = remap.collectMoves();
+    EXPECT_EQ(moves.size(), 2u * MemoryGeometry::blocksPerPage);
+}
+
+TEST(Leader, RemapStaysBijective)
+{
+    MemoryGeometry geo;
+    AddressMap map(geo);
+    LeaderRemapper remap(geo, 4096, 10, 64);
+    // Drive several migrations of different hot pages.
+    for (std::uint64_t hot = 0; hot < 4096; hot += 37) {
+        Addr addr = hot * MemoryGeometry::pageBytes;
+        if (map.decode(addr).wordline < 64)
+            continue;
+        for (int i = 0; i < 10; ++i)
+            remap.noteDataWrite(remap.remap(addr));
+        remap.collectMoves();
+    }
+    EXPECT_GT(remap.migrations(), 3u);
+    std::set<Addr> images;
+    for (std::uint64_t p = 0; p < 4096; ++p) {
+        Addr image = remap.remap(p * MemoryGeometry::pageBytes);
+        EXPECT_TRUE(images.insert(image).second) << "page " << p;
+    }
+}
+
+TEST(Leader, NearPagesAreLeftAlone)
+{
+    MemoryGeometry geo;
+    AddressMap map(geo);
+    LeaderRemapper remap(geo, 1 << 20, 20, 64);
+    std::uint64_t nearPage = 0;
+    for (std::uint64_t p = 0;; ++p) {
+        if (map.decode(p * MemoryGeometry::pageBytes).wordline < 64) {
+            nearPage = p;
+            break;
+        }
+    }
+    Addr addr = nearPage * MemoryGeometry::pageBytes;
+    for (int i = 0; i < 40; ++i)
+        remap.noteDataWrite(addr);
+    EXPECT_EQ(remap.migrations(), 0u);
+    EXPECT_EQ(remap.remap(addr), addr);
+}
+
+TEST(Leader, SystemIntegrationImprovesLocationScheme)
+{
+    // With the location-only scheme, migrating hot pages near the
+    // drivers must not corrupt anything and should not hurt tWR.
+    ExperimentConfig cfg;
+    cfg.warmupInstr = 60'000;
+    cfg.measureInstr = 120'000;
+    cfg.cacheScale = 1.0 / 16.0;
+    SystemConfig sys =
+        makeSystemConfig(SchemeKind::Location, "astar", cfg);
+
+    System plain(sys);
+    SimResult base = plain.run(cfg.warmupInstr, cfg.measureInstr);
+
+    System leader(sys);
+    AddressMap map(sys.geometry);
+    LeaderRemapper remap(sys.geometry, map.totalPages() * 3 / 4,
+                         20, 64);
+    leader.setRemapper(&remap);
+    SimResult r = leader.run(cfg.warmupInstr, cfg.measureInstr);
+
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_GT(remap.migrations(), 0u);
+    // Hot pages on fast rows: average tWR should not regress much.
+    EXPECT_LT(r.avgWriteTwrNs, base.avgWriteTwrNs * 1.15);
+}
+
+} // namespace
+} // namespace ladder

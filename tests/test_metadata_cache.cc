@@ -1,0 +1,166 @@
+/** @file Tests for the sharer-aware LRS-metadata cache. */
+
+#include <gtest/gtest.h>
+
+#include "ctrl/metadata_cache.hh"
+
+namespace ladder
+{
+namespace
+{
+
+/** A tiny 2-set, 2-way cache (4 lines) for eviction testing. */
+MetadataCache
+tinyCache()
+{
+    return MetadataCache(4 * lineBytes, 2);
+}
+
+Addr
+addrInSet(unsigned set, unsigned n, unsigned sets)
+{
+    return static_cast<Addr>(set + n * sets) * lineBytes;
+}
+
+TEST(MetadataCache, GeometryFromSizeAndWays)
+{
+    MetadataCache cache(64 * 1024, 4);
+    EXPECT_EQ(cache.ways(), 4u);
+    EXPECT_EQ(cache.sets(), 64u * 1024 / 64 / 4);
+}
+
+TEST(MetadataCache, MissThenHit)
+{
+    MetadataCache cache = tinyCache();
+    Addr a = addrInSet(0, 0, cache.sets());
+    EXPECT_EQ(cache.lookupForWrite(a), MetaLookup::Miss);
+    Addr victim;
+    EXPECT_TRUE(cache.insert(a, 1, victim));
+    EXPECT_EQ(victim, invalidAddr);
+    EXPECT_EQ(cache.lookupForWrite(a), MetaLookup::Hit);
+    EXPECT_EQ(cache.hits.value(), 1.0);
+    EXPECT_EQ(cache.misses.value(), 1.0);
+}
+
+TEST(MetadataCache, SharersPinLines)
+{
+    MetadataCache cache = tinyCache();
+    unsigned sets = cache.sets();
+    Addr a = addrInSet(0, 0, sets);
+    Addr b = addrInSet(0, 1, sets);
+    Addr c = addrInSet(0, 2, sets);
+    Addr victim;
+    cache.insert(a, 1, victim); // sharer pinned
+    cache.insert(b, 1, victim); // sharer pinned
+    // Both ways pinned: a third line in the set is Blocked.
+    EXPECT_EQ(cache.lookupForWrite(c), MetaLookup::Blocked);
+    EXPECT_FALSE(cache.canAllocate(c));
+    // Releasing one sharer unpins.
+    cache.releaseSharer(a);
+    EXPECT_TRUE(cache.canAllocate(c));
+    EXPECT_EQ(cache.lookupForWrite(c), MetaLookup::Miss);
+}
+
+TEST(MetadataCache, EvictionPrefersUnpinnedLru)
+{
+    MetadataCache cache = tinyCache();
+    unsigned sets = cache.sets();
+    Addr a = addrInSet(1, 0, sets);
+    Addr b = addrInSet(1, 1, sets);
+    Addr c = addrInSet(1, 2, sets);
+    Addr victim;
+    cache.insert(a, 0, victim);
+    cache.insert(b, 0, victim);
+    // Touch a so b becomes LRU.
+    cache.lookupForWrite(a);
+    cache.releaseSharer(a);
+    cache.insert(c, 0, victim);
+    EXPECT_TRUE(cache.contains(a));
+    EXPECT_FALSE(cache.contains(b));
+    EXPECT_TRUE(cache.contains(c));
+}
+
+TEST(MetadataCache, DirtyVictimReported)
+{
+    MetadataCache cache = tinyCache();
+    unsigned sets = cache.sets();
+    Addr a = addrInSet(0, 0, sets);
+    Addr b = addrInSet(0, 1, sets);
+    Addr c = addrInSet(0, 2, sets);
+    Addr victim;
+    cache.insert(a, 0, victim);
+    cache.markDirty(a);
+    cache.insert(b, 0, victim);
+    cache.insert(c, 0, victim); // evicts dirty a (LRU)
+    EXPECT_EQ(victim, a);
+    EXPECT_EQ(cache.dirtyEvictions.value(), 1.0);
+}
+
+TEST(MetadataCache, InsertRaceMergesSharers)
+{
+    MetadataCache cache = tinyCache();
+    Addr a = addrInSet(0, 0, cache.sets());
+    Addr victim;
+    cache.insert(a, 2, victim);
+    // A second fill for the same line merges instead of duplicating.
+    cache.insert(a, 1, victim);
+    cache.releaseSharer(a);
+    cache.releaseSharer(a);
+    cache.releaseSharer(a);
+    EXPECT_TRUE(cache.canAllocate(a));
+}
+
+TEST(MetadataCache, InsertFailsWhenAllPinned)
+{
+    MetadataCache cache = tinyCache();
+    unsigned sets = cache.sets();
+    Addr a = addrInSet(0, 0, sets);
+    Addr b = addrInSet(0, 1, sets);
+    Addr c = addrInSet(0, 2, sets);
+    Addr victim;
+    cache.insert(a, 1, victim);
+    cache.insert(b, 1, victim);
+    EXPECT_FALSE(cache.insert(c, 1, victim));
+}
+
+TEST(MetadataCache, ReleaseUnderflowPanics)
+{
+    MetadataCache cache = tinyCache();
+    Addr a = addrInSet(0, 0, cache.sets());
+    Addr victim;
+    cache.insert(a, 0, victim);
+    EXPECT_THROW(cache.releaseSharer(a), std::logic_error);
+}
+
+TEST(MetadataCache, FlushReturnsDirtyLines)
+{
+    MetadataCache cache = tinyCache();
+    unsigned sets = cache.sets();
+    Addr a = addrInSet(0, 0, sets);
+    Addr b = addrInSet(1, 0, sets);
+    Addr victim;
+    cache.insert(a, 0, victim);
+    cache.insert(b, 0, victim);
+    cache.markDirty(b);
+    auto dirty = cache.flushDirty();
+    ASSERT_EQ(dirty.size(), 1u);
+    EXPECT_EQ(dirty[0], b);
+    EXPECT_FALSE(cache.contains(a));
+    EXPECT_FALSE(cache.contains(b));
+}
+
+TEST(MetadataCache, DistinctSetsDoNotConflict)
+{
+    MetadataCache cache = tinyCache();
+    unsigned sets = cache.sets();
+    Addr victim;
+    // Fill both ways of set 0 with pinned lines.
+    cache.insert(addrInSet(0, 0, sets), 1, victim);
+    cache.insert(addrInSet(0, 1, sets), 1, victim);
+    // Set 1 is still usable.
+    EXPECT_EQ(cache.lookupForWrite(addrInSet(1, 0, sets)),
+              MetaLookup::Miss);
+}
+
+} // namespace
+} // namespace ladder

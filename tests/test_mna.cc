@@ -1,0 +1,137 @@
+/** @file Tests for the full crossbar MNA solver. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/mna.hh"
+
+namespace ladder
+{
+namespace
+{
+
+CrossbarParams
+smallParams(std::size_t n = 32)
+{
+    CrossbarParams p;
+    p.rows = n;
+    p.cols = n;
+    return p;
+}
+
+TEST(Mna, ConvergesOnSmallCrossbar)
+{
+    CrossbarParams p = smallParams();
+    CrossbarMna mna(p);
+    ResetCondition cond{0, 0, 0, 0};
+    ResetEvaluation eval = mna.evaluate(cond);
+    EXPECT_TRUE(eval.converged);
+    EXPECT_GT(eval.minDropVolts, 0.0);
+    EXPECT_LE(eval.minDropVolts, p.writeVolts);
+    EXPECT_GT(eval.sourcePowerWatts, 0.0);
+}
+
+TEST(Mna, NearCellSeesAlmostFullVoltage)
+{
+    CrossbarParams p = smallParams();
+    CrossbarMna mna(p);
+    ResetEvaluation eval = mna.evaluate({0, 0, 0, 0});
+    // Best case: only the driver and a few wire segments drop.
+    EXPECT_GT(eval.minDropVolts, 0.9 * p.writeVolts);
+}
+
+TEST(Mna, FartherCellsSeeLessVoltage)
+{
+    CrossbarParams p = smallParams();
+    CrossbarMna mna(p);
+    double near = mna.evaluate({0, 0, 0, 0}).minDropVolts;
+    double farRow =
+        mna.evaluate({p.rows - 1, 0, 0, 0}).minDropVolts;
+    double farCorner =
+        mna.evaluate({p.rows - 1, p.cols / 8 - 1, 0, 0}).minDropVolts;
+    EXPECT_LT(farRow, near);
+    EXPECT_LT(farCorner, farRow);
+}
+
+TEST(Mna, MoreWordlineLrsMeansLessVoltage)
+{
+    CrossbarParams p = smallParams();
+    CrossbarMna mna(p);
+    std::size_t lastSlot = p.cols / 8 - 1;
+    double prev = 10.0;
+    for (unsigned c : {0u, 8u, 16u, 24u}) {
+        double drop =
+            mna.evaluate({p.rows - 1, lastSlot, c, 0}).minDropVolts;
+        EXPECT_LT(drop, prev) << "count " << c;
+        prev = drop;
+    }
+}
+
+TEST(Mna, MoreBitlineLrsMeansLessVoltage)
+{
+    CrossbarParams p = smallParams();
+    CrossbarMna mna(p);
+    std::size_t lastSlot = p.cols / 8 - 1;
+    double low =
+        mna.evaluate({p.rows - 1, lastSlot, 0, 24}).minDropVolts;
+    double none =
+        mna.evaluate({p.rows - 1, lastSlot, 0, 0}).minDropVolts;
+    EXPECT_LT(low, none);
+}
+
+TEST(Mna, WorstCasePatternCounts)
+{
+    CrossbarParams p = smallParams(16);
+    CrossbarMna mna(p);
+    ResetCondition cond{3, 1, 5, 4};
+    auto pattern = mna.worstCasePattern(cond);
+    // Count LRS on the selected wordline outside the selected byte.
+    unsigned onWl = 0;
+    auto bls = mna.selectedBitlines(cond);
+    for (std::size_t j = 0; j < p.cols; ++j) {
+        bool selected =
+            std::find(bls.begin(), bls.end(), j) != bls.end();
+        if (!selected &&
+            pattern[cond.wordline * p.cols + j] == CellState::LRS)
+            ++onWl;
+    }
+    EXPECT_EQ(onWl, cond.wlLrsCount);
+    // Count LRS on each selected bitline outside the selected row.
+    for (std::size_t bl : bls) {
+        unsigned onBl = 0;
+        for (std::size_t i = 0; i < p.rows; ++i) {
+            if (i != cond.wordline &&
+                pattern[i * p.cols + bl] == CellState::LRS)
+                ++onBl;
+        }
+        EXPECT_EQ(onBl, cond.blLrsCount);
+    }
+}
+
+TEST(Mna, SelectedBitlinesFollowByteOffset)
+{
+    CrossbarParams p = smallParams(64);
+    CrossbarMna mna(p);
+    auto bls = mna.selectedBitlines({0, 3, 0, 0});
+    ASSERT_EQ(bls.size(), 8u);
+    for (unsigned k = 0; k < 8; ++k)
+        EXPECT_EQ(bls[k], 24u + k);
+}
+
+TEST(Mna, AllSelectedCellDropsReported)
+{
+    CrossbarParams p = smallParams();
+    CrossbarMna mna(p);
+    WriteOperation op;
+    op.wordline = 1;
+    op.bitlines = {8, 9, 10, 11, 12, 13, 14, 15};
+    std::vector<CellState> pattern(p.rows * p.cols, CellState::HRS);
+    auto sol = mna.solve(pattern, op);
+    EXPECT_EQ(sol.cellDrops.size(), 8u);
+    for (double d : sol.cellDrops) {
+        EXPECT_GT(d, 0.0);
+        EXPECT_GE(d, sol.minDropVolts);
+    }
+}
+
+} // namespace
+} // namespace ladder

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for LADDER's partial-counter machinery, including the central
+ * safety property: the estimated C_w is always an upper bound on the
+ * true worst-mat LRS count (paper Eq. 1-2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "schemes/partial_counter.hh"
+#include "trace/data_patterns.hh"
+
+namespace ladder
+{
+namespace
+{
+
+TEST(PartialCounter, Encode2Ranges)
+{
+    EXPECT_EQ(encodePartial2(0), 0u);
+    EXPECT_EQ(encodePartial2(1), 0u);
+    EXPECT_EQ(encodePartial2(2), 1u);
+    EXPECT_EQ(encodePartial2(3), 1u);
+    EXPECT_EQ(encodePartial2(4), 2u);
+    EXPECT_EQ(encodePartial2(5), 2u);
+    EXPECT_EQ(encodePartial2(6), 3u);
+    EXPECT_EQ(encodePartial2(8), 3u);
+}
+
+TEST(PartialCounter, Decode2Values)
+{
+    EXPECT_EQ(decodePartial2(0), 1u);
+    EXPECT_EQ(decodePartial2(1), 3u);
+    EXPECT_EQ(decodePartial2(2), 5u);
+    EXPECT_EQ(decodePartial2(3), 8u);
+}
+
+TEST(PartialCounter, Encode1Ranges)
+{
+    for (unsigned v = 0; v <= 5; ++v)
+        EXPECT_EQ(encodePartial1(v), 0u) << v;
+    for (unsigned v = 6; v <= 8; ++v)
+        EXPECT_EQ(encodePartial1(v), 1u) << v;
+    EXPECT_EQ(decodePartial1(0), 5u);
+    EXPECT_EQ(decodePartial1(1), 8u);
+}
+
+class QuantizationSafety : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(QuantizationSafety, DecodeCoversEncodeInput)
+{
+    unsigned actual = GetParam();
+    // The conservative decode of any encodable count covers it.
+    EXPECT_GE(decodePartial2(encodePartial2(actual)), actual);
+    EXPECT_GE(decodePartial1(encodePartial1(actual)), actual);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCounts, QuantizationSafety,
+                         ::testing::Range(0u, 9u));
+
+TEST(PartialCounter, PackExtractsSubgroupMaxima)
+{
+    LineData line = filledLine(0x00);
+    line[0] = 0x0f;  // subgroup 0: worst 4 -> code 2
+    line[17] = 0xff; // subgroup 1: worst 8 -> code 3
+    line[33] = 0x01; // subgroup 2: worst 1 -> code 0
+    line[50] = 0x07; // subgroup 3: worst 3 -> code 1
+    std::uint8_t packed = packPartialCounters2(line);
+    EXPECT_EQ((packed >> 0) & 3, 2u);
+    EXPECT_EQ((packed >> 2) & 3, 3u);
+    EXPECT_EQ((packed >> 4) & 3, 0u);
+    EXPECT_EQ((packed >> 6) & 3, 1u);
+}
+
+TEST(PartialCounter, Pack1ExtractsHalfLineMaxima)
+{
+    LineData line = filledLine(0x00);
+    line[5] = 0xff;  // first half: 8 -> 1
+    line[40] = 0x0f; // second half: 4 -> 0
+    std::uint8_t packed = packPartialCounters1(line);
+    EXPECT_EQ(packed & 1, 1u);
+    EXPECT_EQ((packed >> 1) & 1, 0u);
+}
+
+/** The Eq. 1-2 safety property on arbitrary content. */
+class EstimateSafety : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    /** True C_w: max over mats of the per-mat popcount sum. */
+    static unsigned
+    trueCw(const std::array<LineData, 64> &blocks)
+    {
+        unsigned best = 0;
+        for (unsigned mat = 0; mat < 64; ++mat) {
+            unsigned sum = 0;
+            for (const auto &block : blocks)
+                sum += popcount8(block[mat]);
+            best = std::max(best, sum);
+        }
+        return best;
+    }
+};
+
+TEST_P(EstimateSafety, EstimateUpperBoundsTruth)
+{
+    Rng rng(GetParam());
+    PatternMix mix{1, 1, 1, 1, 1, 1};
+    DataPatternModel model(mix);
+    for (int page = 0; page < 10; ++page) {
+        std::array<LineData, 64> blocks;
+        std::array<std::uint8_t, 64> packed2{};
+        std::array<std::uint8_t, 64> packed1{};
+        for (unsigned b = 0; b < 64; ++b) {
+            blocks[b] = model.generateLine(rng);
+            packed2[b] = packPartialCounters2(blocks[b]);
+            packed1[b] = packPartialCounters1(blocks[b]);
+        }
+        unsigned truth = trueCw(blocks);
+        EXPECT_GE(estimateCw2(packed2), truth);
+        EXPECT_GE(estimateCw1(packed1), truth);
+    }
+}
+
+TEST_P(EstimateSafety, EstimateUpperBoundsAdversarialContent)
+{
+    // Fully random bytes (denser and nastier than app content).
+    Rng rng(GetParam() + 500);
+    std::array<LineData, 64> blocks;
+    std::array<std::uint8_t, 64> packed2{};
+    for (unsigned b = 0; b < 64; ++b) {
+        for (auto &byte : blocks[b])
+            byte = static_cast<std::uint8_t>(rng.nextBounded(256));
+        packed2[b] = packPartialCounters2(blocks[b]);
+    }
+    EXPECT_GE(estimateCw2(packed2), trueCw(blocks));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EstimateSafety,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(PartialCounter, EstimateBounds)
+{
+    std::array<std::uint8_t, 64> zeros{};
+    // All-'00' counters decode to 1 each: estimate 64.
+    EXPECT_EQ(estimateCw2(zeros), 64u);
+    std::array<std::uint8_t, 64> maxed{};
+    maxed.fill(0xff);
+    EXPECT_EQ(estimateCw2(maxed), 512u);
+    std::array<std::uint8_t, 64> low{};
+    EXPECT_EQ(estimateCw1(low), 64u * 5);
+    std::array<std::uint8_t, 64> high{};
+    high.fill(0x03);
+    EXPECT_EQ(estimateCw1(high), 64u * 8);
+}
+
+} // namespace
+} // namespace ladder

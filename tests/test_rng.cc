@@ -1,0 +1,153 @@
+/** @file Tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace ladder
+{
+namespace
+{
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBounded(bound), bound);
+    }
+}
+
+TEST(Rng, BoundedIsRoughlyUniform)
+{
+    Rng rng(8);
+    constexpr int buckets = 8;
+    int counts[buckets] = {};
+    constexpr int draws = 80000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[rng.nextBounded(buckets)];
+    for (int b = 0; b < buckets; ++b) {
+        EXPECT_NEAR(counts[b], draws / buckets, draws / buckets / 5)
+            << "bucket " << b;
+    }
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = rng.nextDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BoolProbability)
+{
+    Rng rng(10);
+    int trues = 0;
+    for (int i = 0; i < 10000; ++i)
+        trues += rng.nextBool(0.3);
+    EXPECT_NEAR(trues / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(11);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = rng.nextRange(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        sawLo |= v == -3;
+        sawHi |= v == 3;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng rng(12);
+    double p = 0.25;
+    double sum = 0.0;
+    constexpr int draws = 20000;
+    for (int i = 0; i < draws; ++i)
+        sum += static_cast<double>(rng.nextGeometric(p));
+    // Mean of failures-before-success is (1-p)/p = 3.
+    EXPECT_NEAR(sum / draws, 3.0, 0.15);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    double sum = 0.0, sq = 0.0;
+    constexpr int draws = 20000;
+    for (int i = 0; i < draws; ++i) {
+        double v = rng.nextGaussian();
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / draws, 0.0, 0.05);
+    EXPECT_NEAR(sq / draws, 1.0, 0.08);
+}
+
+TEST(Rng, ZipfRangeAndSkew)
+{
+    Rng rng(14);
+    constexpr std::uint64_t n = 100;
+    std::uint64_t first = 0, total = 0;
+    for (int i = 0; i < 20000; ++i) {
+        std::uint64_t v = rng.nextZipf(n, 0.9);
+        ASSERT_LT(v, n);
+        first += v == 0;
+        ++total;
+    }
+    // Rank 0 must be by far the most popular.
+    EXPECT_GT(first, total / 20);
+}
+
+TEST(Rng, ZipfSingleton)
+{
+    Rng rng(15);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.nextZipf(1, 1.2), 0u);
+}
+
+TEST(Rng, SplitIndependence)
+{
+    Rng parent(16);
+    Rng child = parent.split();
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += parent.next() == child.next();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, Mix64Stable)
+{
+    EXPECT_EQ(mix64(1), mix64(1));
+    EXPECT_NE(mix64(1), mix64(2));
+}
+
+} // namespace
+} // namespace ladder

@@ -1,0 +1,136 @@
+/** @file Tests for the linear solvers (CG, dense, tridiagonal). */
+
+#include <gtest/gtest.h>
+
+#include "circuit/solvers.hh"
+#include "common/rng.hh"
+
+namespace ladder
+{
+namespace
+{
+
+/** Random SPD matrix as A = B^T B + n*I, returned as triplets. */
+std::vector<Triplet>
+randomSpd(std::size_t n, Rng &rng)
+{
+    std::vector<double> b(n * n);
+    for (auto &v : b)
+        v = rng.nextDouble() - 0.5;
+    std::vector<Triplet> trip;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < n; ++k)
+                acc += b[k * n + i] * b[k * n + j];
+            if (i == j)
+                acc += static_cast<double>(n);
+            trip.push_back({i, j, acc});
+        }
+    }
+    return trip;
+}
+
+class CgVsDense : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(CgVsDense, Agree)
+{
+    std::size_t n = GetParam();
+    Rng rng(37 + n);
+    SparseMatrix a(n, randomSpd(n, rng));
+    std::vector<double> rhs(n);
+    for (auto &v : rhs)
+        v = rng.nextDouble() * 2.0 - 1.0;
+
+    std::vector<double> x;
+    CgResult result = conjugateGradient(a, rhs, x, 1e-12);
+    EXPECT_TRUE(result.converged);
+
+    std::vector<double> dense = a.toDense();
+    std::vector<double> ref = rhs;
+    denseSolveInPlace(dense, ref, n);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x[i], ref[i], 1e-7) << "component " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CgVsDense,
+                         ::testing::Values(1, 2, 5, 10, 25, 60));
+
+TEST(Cg, WarmStartConverges)
+{
+    Rng rng(5);
+    const std::size_t n = 20;
+    SparseMatrix a(n, randomSpd(n, rng));
+    std::vector<double> rhs(n, 1.0);
+    std::vector<double> x;
+    conjugateGradient(a, rhs, x, 1e-12);
+    // Warm start from the solution converges immediately.
+    std::vector<double> x2 = x;
+    CgResult again = conjugateGradient(a, rhs, x2, 1e-10);
+    EXPECT_TRUE(again.converged);
+    EXPECT_LE(again.iterations, 1u);
+}
+
+TEST(Cg, ZeroRhsGivesZero)
+{
+    Rng rng(6);
+    const std::size_t n = 8;
+    SparseMatrix a(n, randomSpd(n, rng));
+    std::vector<double> rhs(n, 0.0);
+    std::vector<double> x(n, 3.0);
+    CgResult result = conjugateGradient(a, rhs, x, 1e-12);
+    EXPECT_TRUE(result.converged);
+    for (double v : x)
+        EXPECT_NEAR(v, 0.0, 1e-8);
+}
+
+TEST(DenseSolve, PivotingHandlesZeroDiagonal)
+{
+    // [[0 1],[1 0]] x = [2, 3] -> x = [3, 2]
+    std::vector<double> a = {0, 1, 1, 0};
+    std::vector<double> b = {2, 3};
+    denseSolveInPlace(a, b, 2);
+    EXPECT_NEAR(b[0], 3.0, 1e-12);
+    EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(Tridiagonal, MatchesDense)
+{
+    Rng rng(7);
+    const std::size_t n = 30;
+    std::vector<double> sub(n), diag(n), sup(n), rhs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        sub[i] = i ? -(0.5 + rng.nextDouble()) : 0.0;
+        sup[i] = i + 1 < n ? -(0.5 + rng.nextDouble()) : 0.0;
+        diag[i] = 4.0 + rng.nextDouble();
+        rhs[i] = rng.nextDouble() * 2.0 - 1.0;
+    }
+    // Dense reference.
+    std::vector<double> dense(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        dense[i * n + i] = diag[i];
+        if (i)
+            dense[i * n + i - 1] = sub[i];
+        if (i + 1 < n)
+            dense[i * n + i + 1] = sup[i];
+    }
+    std::vector<double> ref = rhs;
+    denseSolveInPlace(dense, ref, n);
+
+    std::vector<double> x = rhs;
+    solveTridiagonal(sub, diag, sup, x);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x[i], ref[i], 1e-9);
+}
+
+TEST(Tridiagonal, SingleElement)
+{
+    std::vector<double> sub{0.0}, diag{2.0}, sup{0.0}, rhs{6.0};
+    solveTridiagonal(sub, diag, sup, rhs);
+    EXPECT_DOUBLE_EQ(rhs[0], 3.0);
+}
+
+} // namespace
+} // namespace ladder

@@ -1,0 +1,76 @@
+/** @file Tests for the sparse matrix layer. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/sparse.hh"
+#include "common/rng.hh"
+
+namespace ladder
+{
+namespace
+{
+
+TEST(Sparse, BuildAndAccess)
+{
+    SparseMatrix m(3, {{0, 0, 2.0}, {1, 2, -1.0}, {2, 1, 4.0}});
+    EXPECT_EQ(m.size(), 3u);
+    EXPECT_EQ(m.nonZeros(), 3u);
+    EXPECT_DOUBLE_EQ(m.at(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(m.at(1, 2), -1.0);
+    EXPECT_DOUBLE_EQ(m.at(2, 1), 4.0);
+    EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+}
+
+TEST(Sparse, DuplicatesSum)
+{
+    SparseMatrix m(2, {{0, 0, 1.0}, {0, 0, 2.5}, {1, 1, 1.0}});
+    EXPECT_DOUBLE_EQ(m.at(0, 0), 3.5);
+    EXPECT_EQ(m.nonZeros(), 2u);
+}
+
+TEST(Sparse, MatvecMatchesDense)
+{
+    Rng rng(1);
+    const std::size_t n = 12;
+    std::vector<Triplet> trip;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (rng.nextBool(0.3))
+                trip.push_back({i, j, rng.nextDouble() - 0.5});
+        }
+    }
+    SparseMatrix m(n, trip);
+    std::vector<double> dense = m.toDense();
+    std::vector<double> x(n);
+    for (auto &v : x)
+        v = rng.nextDouble();
+    std::vector<double> y;
+    m.multiply(x, y);
+    for (std::size_t i = 0; i < n; ++i) {
+        double expect = 0.0;
+        for (std::size_t j = 0; j < n; ++j)
+            expect += dense[i * n + j] * x[j];
+        EXPECT_NEAR(y[i], expect, 1e-12);
+    }
+}
+
+TEST(Sparse, EmptyRows)
+{
+    SparseMatrix m(4, {{0, 0, 1.0}, {3, 3, 1.0}});
+    std::vector<double> x(4, 1.0), y;
+    m.multiply(x, y);
+    EXPECT_DOUBLE_EQ(y[1], 0.0);
+    EXPECT_DOUBLE_EQ(y[2], 0.0);
+}
+
+TEST(Sparse, Diagonal)
+{
+    SparseMatrix m(3, {{0, 0, 5.0}, {1, 0, 1.0}, {2, 2, -2.0}});
+    auto d = m.diagonal();
+    EXPECT_DOUBLE_EQ(d[0], 5.0);
+    EXPECT_DOUBLE_EQ(d[1], 0.0);
+    EXPECT_DOUBLE_EQ(d[2], -2.0);
+}
+
+} // namespace
+} // namespace ladder

@@ -1,0 +1,104 @@
+/** @file Tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace ladder
+{
+namespace
+{
+
+TEST(StatScalar, AccumulateAndReset)
+{
+    StatScalar s;
+    EXPECT_EQ(s.value(), 0.0);
+    s += 2.5;
+    ++s;
+    EXPECT_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_EQ(s.value(), 0.0);
+    s.set(7.0);
+    EXPECT_EQ(s.value(), 7.0);
+}
+
+TEST(StatAverage, Moments)
+{
+    StatAverage a;
+    EXPECT_EQ(a.mean(), 0.0);
+    a.sample(1.0);
+    a.sample(2.0);
+    a.sample(6.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 6.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 9.0);
+    EXPECT_EQ(a.count(), 3u);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+}
+
+TEST(StatHistogram, Buckets)
+{
+    StatHistogram h(0.0, 10.0, 5);
+    h.sample(-1.0); // underflow
+    h.sample(0.0);  // bucket 0
+    h.sample(1.9);  // bucket 0
+    h.sample(5.0);  // bucket 2
+    h.sample(9.99); // bucket 4
+    h.sample(10.0); // overflow
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_EQ(h.totalSamples(), 6u);
+    EXPECT_DOUBLE_EQ(h.bucketLo(1), 2.0);
+}
+
+TEST(StatGroup, DumpContainsEntries)
+{
+    StatGroup group("sys");
+    StatScalar s;
+    StatAverage a;
+    s += 5;
+    a.sample(2.0);
+    group.regScalar("reads", &s, "demand reads");
+    group.regAverage("latency", &a);
+
+    StatGroup child("child");
+    StatScalar c;
+    c += 1;
+    child.regScalar("inner", &c);
+    group.addChild(&child);
+
+    std::ostringstream os;
+    group.dump(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("sys.reads"), std::string::npos);
+    EXPECT_NE(text.find("demand reads"), std::string::npos);
+    EXPECT_NE(text.find("sys.latency.mean"), std::string::npos);
+    EXPECT_NE(text.find("child.inner"), std::string::npos);
+}
+
+TEST(StatGroup, ResetAllRecurses)
+{
+    StatGroup group("g");
+    StatScalar s;
+    s += 3;
+    group.regScalar("s", &s);
+    StatGroup child("c");
+    StatScalar cs;
+    cs += 4;
+    child.regScalar("cs", &cs);
+    group.addChild(&child);
+    group.resetAll();
+    EXPECT_EQ(s.value(), 0.0);
+    EXPECT_EQ(cs.value(), 0.0);
+}
+
+} // namespace
+} // namespace ladder

@@ -1,0 +1,200 @@
+/** @file Full-system integration tests. */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+
+namespace ladder
+{
+namespace
+{
+
+ExperimentConfig
+quickConfig()
+{
+    ExperimentConfig cfg;
+    cfg.warmupInstr = 60'000;
+    cfg.measureInstr = 40'000;
+    // Shrink L2/L3 and working sets so caches reach steady state
+    // (and writebacks flow) within the short windows.
+    cfg.cacheScale = 1.0 / 16.0;
+    return cfg;
+}
+
+class SystemScheme : public ::testing::TestWithParam<SchemeKind>
+{
+};
+
+TEST_P(SystemScheme, RunsToCompletion)
+{
+    SimResult r = runOne(GetParam(), "astar", quickConfig());
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_LT(r.ipc, 4.0);
+    EXPECT_GT(r.dataReads, 100u);
+    EXPECT_GT(r.dataWrites, 10u);
+    EXPECT_GT(r.avgReadLatencyNs, 20.0);
+    EXPECT_GE(r.avgWriteTwrNs, 29.0);
+    EXPECT_LE(r.avgWriteTwrNs, 2 * 658.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SystemScheme,
+    ::testing::Values(SchemeKind::Baseline, SchemeKind::Location,
+                      SchemeKind::SplitReset, SchemeKind::Blp,
+                      SchemeKind::LadderBasic, SchemeKind::LadderEst,
+                      SchemeKind::LadderHybrid, SchemeKind::Oracle));
+
+TEST(System, BaselineWritesAtWorstCase)
+{
+    SimResult r = runOne(SchemeKind::Baseline, "astar", quickConfig());
+    EXPECT_NEAR(r.avgWriteTwrNs, 658.0, 1.0);
+}
+
+TEST(System, SchemesBeatBaseline)
+{
+    ExperimentConfig cfg = quickConfig();
+    SimResult base = runOne(SchemeKind::Baseline, "lbm", cfg);
+    for (SchemeKind kind :
+         {SchemeKind::LadderEst, SchemeKind::LadderHybrid,
+          SchemeKind::Oracle}) {
+        SimResult r = runOne(kind, "lbm", cfg);
+        EXPECT_GT(speedupOver(r, base), 1.0) << schemeKindName(kind);
+        EXPECT_LT(r.avgWriteTwrNs, base.avgWriteTwrNs);
+    }
+}
+
+TEST(System, OracleMatchesOrBeatsEveryScheme)
+{
+    ExperimentConfig cfg = quickConfig();
+    SimResult oracle = runOne(SchemeKind::Oracle, "astar", cfg);
+    for (SchemeKind kind :
+         {SchemeKind::LadderBasic, SchemeKind::LadderEst,
+          SchemeKind::LadderHybrid}) {
+        SimResult r = runOne(kind, "astar", cfg);
+        EXPECT_LE(oracle.avgWriteTwrNs, r.avgWriteTwrNs + 5.0)
+            << schemeKindName(kind);
+    }
+}
+
+TEST(System, DemandTrafficIndependentOfScheme)
+{
+    // The cache-filtered demand stream is timing-independent, so all
+    // schemes see (nearly) the same demand reads and writes.
+    ExperimentConfig cfg = quickConfig();
+    SimResult a = runOne(SchemeKind::Baseline, "cannl", cfg);
+    SimResult b = runOne(SchemeKind::LadderHybrid, "cannl", cfg);
+    double readRatio = static_cast<double>(b.dataReads) /
+                       static_cast<double>(a.dataReads);
+    double writeRatio = static_cast<double>(b.dataWrites) /
+                        static_cast<double>(a.dataWrites);
+    EXPECT_NEAR(readRatio, 1.0, 0.05);
+    EXPECT_NEAR(writeRatio, 1.0, 0.10);
+}
+
+TEST(System, MetadataTrafficOnlyForLadderSchemes)
+{
+    ExperimentConfig cfg = quickConfig();
+    for (SchemeKind kind :
+         {SchemeKind::Baseline, SchemeKind::SplitReset,
+          SchemeKind::Blp, SchemeKind::Oracle}) {
+        SimResult r = runOne(kind, "astar", cfg);
+        EXPECT_EQ(r.metadataReads, 0u) << schemeKindName(kind);
+        EXPECT_EQ(r.smbReads, 0u) << schemeKindName(kind);
+    }
+    SimResult basic = runOne(SchemeKind::LadderBasic, "astar", cfg);
+    EXPECT_GT(basic.metadataReads, 0u);
+    EXPECT_EQ(basic.smbReads, basic.dataWrites);
+    SimResult est = runOne(SchemeKind::LadderEst, "astar", cfg);
+    EXPECT_EQ(est.smbReads, 0u);
+    EXPECT_LT(est.metadataReads, basic.metadataReads);
+}
+
+TEST(System, EstEstimateUpperBoundsOwnContent)
+{
+    SimResult est =
+        runOne(SchemeKind::LadderEstNoShift, "astar", quickConfig());
+    EXPECT_GE(est.estCounterDiffMean, 0.0);
+    EXPECT_GT(est.estimatedCwMean, 0.0);
+}
+
+TEST(System, MixRunsFourCores)
+{
+    ExperimentConfig cfg = quickConfig();
+    cfg.warmupInstr = 30'000;
+    cfg.measureInstr = 20'000;
+    SimResult r = runOne(SchemeKind::LadderHybrid, "mix-1", cfg);
+    EXPECT_EQ(r.coreIpc.size(), 4u);
+    for (double ipc : r.coreIpc) {
+        EXPECT_GT(ipc, 0.0);
+        EXPECT_LT(ipc, 4.0);
+    }
+}
+
+TEST(System, DeterministicAcrossRuns)
+{
+    ExperimentConfig cfg = quickConfig();
+    SimResult a = runOne(SchemeKind::LadderEst, "libq", cfg);
+    SimResult b = runOne(SchemeKind::LadderEst, "libq", cfg);
+    EXPECT_EQ(a.dataReads, b.dataReads);
+    EXPECT_EQ(a.dataWrites, b.dataWrites);
+    EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+    EXPECT_DOUBLE_EQ(a.avgReadLatencyNs, b.avgReadLatencyNs);
+}
+
+TEST(System, EnergyAccountingPositiveAndOrdered)
+{
+    ExperimentConfig cfg = quickConfig();
+    SimResult base = runOne(SchemeKind::Baseline, "lbm", cfg);
+    SimResult oracle = runOne(SchemeKind::Oracle, "lbm", cfg);
+    EXPECT_GT(base.writeEnergyPj, 0.0);
+    EXPECT_GT(base.readEnergyPj, 0.0);
+    // Shorter writes burn less array energy.
+    EXPECT_LT(oracle.writeEnergyPj, base.writeEnergyPj);
+}
+
+TEST(System, RangeShrinkReducesBenefit)
+{
+    ExperimentConfig cfg = quickConfig();
+    SimResult base = runOne(SchemeKind::Baseline, "astar", cfg);
+    SimResult nominal = runOne(SchemeKind::LadderHybrid, "astar", cfg);
+    ExperimentConfig shrunk = cfg;
+    shrunk.rangeShrink = 2.0;
+    SimResult baseS = runOne(SchemeKind::Baseline, "astar", shrunk);
+    SimResult hybridS =
+        runOne(SchemeKind::LadderHybrid, "astar", shrunk);
+    double gainNominal = speedupOver(nominal, base) - 1.0;
+    double gainShrunk = speedupOver(hybridS, baseS) - 1.0;
+    EXPECT_GT(gainNominal, 0.0);
+    EXPECT_GT(gainShrunk, 0.0);
+    EXPECT_LT(gainShrunk, gainNominal);
+}
+
+TEST(System, FnwOffMeansNoFlips)
+{
+    // Whole-line FNW flips are rare under incremental store traffic
+    // (a realistic property); with FNW disabled they must be exactly
+    // zero and energy accounting must still work.
+    ExperimentConfig without = quickConfig();
+    without.fnwMode = FnwMode::Off;
+    SimResult b = runOne(SchemeKind::Baseline, "mcf", without);
+    EXPECT_EQ(b.fnwFlips, 0.0);
+    EXPECT_GT(b.writeEnergyPj, 0.0);
+}
+
+TEST(System, StatsDumpHasContent)
+{
+    SystemConfig cfg =
+        makeSystemConfig(SchemeKind::LadderEst, "astar",
+                         quickConfig());
+    System system(cfg);
+    system.run(20'000, 20'000);
+    std::ostringstream os;
+    system.dumpStats(os);
+    EXPECT_NE(os.str().find("ctrl0.data_reads"), std::string::npos);
+    EXPECT_NE(os.str().find("ctrl1.write_service_ns"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace ladder

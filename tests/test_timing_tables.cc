@@ -1,0 +1,187 @@
+/** @file Tests for the write timing tables and the power table. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/fastmodel.hh"
+#include "reram/timing_tables.hh"
+
+namespace ladder
+{
+namespace
+{
+
+const TimingModel &
+model()
+{
+    static const TimingModel &m = cachedTimingModel(CrossbarParams{});
+    return m;
+}
+
+TEST(TimingTable, EnvelopeMatchesLaw)
+{
+    const TimingModel &m = model();
+    EXPECT_NEAR(m.ladder.worstLatencyNs(), 658.0, 1.0);
+    EXPECT_GE(m.ladder.bestLatencyNs(), 29.0);
+    EXPECT_LT(m.ladder.bestLatencyNs(), 300.0);
+}
+
+TEST(TimingTable, MonotoneInAllDimensions)
+{
+    const TimingModel &m = model();
+    const WriteTimingTable &t = m.ladder;
+    for (unsigned wb = 0; wb + 1 < t.wlBuckets(); ++wb)
+        for (unsigned bb = 0; bb < t.blBuckets(); ++bb)
+            for (unsigned cb = 0; cb < t.contentBuckets(); ++cb)
+                EXPECT_LE(t.at(wb, bb, cb).latencyNs,
+                          t.at(wb + 1, bb, cb).latencyNs);
+    for (unsigned wb = 0; wb < t.wlBuckets(); ++wb)
+        for (unsigned bb = 0; bb + 1 < t.blBuckets(); ++bb)
+            for (unsigned cb = 0; cb < t.contentBuckets(); ++cb)
+                EXPECT_LE(t.at(wb, bb, cb).latencyNs,
+                          t.at(wb, bb + 1, cb).latencyNs);
+    for (unsigned wb = 0; wb < t.wlBuckets(); ++wb)
+        for (unsigned bb = 0; bb < t.blBuckets(); ++bb)
+            for (unsigned cb = 0; cb + 1 < t.contentBuckets(); ++cb)
+                EXPECT_LE(t.at(wb, bb, cb).latencyNs,
+                          t.at(wb, bb, cb + 1).latencyNs);
+}
+
+TEST(TimingTable, LookupAlwaysSafe)
+{
+    // Property: for any operating point, the bucketed lookup must be
+    // at least the latency the circuit model demands at that point.
+    const TimingModel &m = model();
+    SneakPathModel fast(m.params);
+    for (unsigned wl : {0u, 100u, 300u, 511u}) {
+        for (unsigned slot : {0u, 20u, 63u}) {
+            for (unsigned count : {0u, 64u, 200u, 448u, 512u}) {
+                ResetCondition cond{wl, slot, count,
+                                    (unsigned)m.params.rows};
+                double needed =
+                    m.law.latencyNs(fast.evaluate(cond).minDropVolts);
+                double granted =
+                    m.ladder
+                        .lookup(wl, slot * 8 + 7, count)
+                        .latencyNs;
+                EXPECT_GE(granted + 1e-9, needed)
+                    << "wl=" << wl << " slot=" << slot
+                    << " count=" << count;
+            }
+        }
+    }
+}
+
+TEST(TimingTable, ContentRoundsUp)
+{
+    const TimingModel &m = model();
+    // A count exactly on a bucket boundary (e.g. 64) must use the
+    // bucket whose worst-case corner covers it (bucket 0 covers 1-64).
+    const TimingEntry &at64 = m.ladder.lookup(511, 511, 64);
+    const TimingEntry &at65 = m.ladder.lookup(511, 511, 65);
+    EXPECT_EQ(at64.latencyNs, m.ladder.at(7, 7, 0).latencyNs);
+    EXPECT_EQ(at65.latencyNs, m.ladder.at(7, 7, 1).latencyNs);
+    // Zero content also uses bucket 0.
+    EXPECT_EQ(m.ladder.lookup(511, 511, 0).latencyNs,
+              m.ladder.at(7, 7, 0).latencyNs);
+    // Content beyond the maximum clamps to the last bucket.
+    EXPECT_EQ(m.ladder.lookup(511, 511, 100000).latencyNs,
+              m.ladder.at(7, 7, 7).latencyNs);
+}
+
+TEST(TimingTable, StorageMatchesPaper)
+{
+    const TimingModel &m = model();
+    EXPECT_EQ(m.ladder.storageBytes(), 512u); // paper: 512B buffer
+}
+
+TEST(TimingTable, LocationTableHasOneContentBucket)
+{
+    const TimingModel &m = model();
+    EXPECT_EQ(m.location.contentBuckets(), 1u);
+    // Location-only equals LADDER's worst-content column.
+    for (unsigned wb = 0; wb < 8; ++wb)
+        for (unsigned bb = 0; bb < 8; ++bb)
+            EXPECT_DOUBLE_EQ(m.location.at(wb, bb, 0).latencyNs,
+                             m.ladder.at(wb, bb, 7).latencyNs);
+}
+
+TEST(TimingTable, BlpWorstCasesWordline)
+{
+    const TimingModel &m = model();
+    // At full bitline content both tables' far corners coincide (both
+    // worst-case everything).
+    EXPECT_NEAR(m.blp.at(7, 7, 7).latencyNs,
+                m.ladder.at(7, 7, 7).latencyNs, 1e-9);
+    // At low bitline content BLP still pays the worst-case wordline:
+    // it cannot beat LADDER's low-content entry.
+    EXPECT_GE(m.blp.at(7, 7, 0).latencyNs,
+              m.ladder.at(7, 7, 0).latencyNs);
+}
+
+TEST(TimingTable, GranularityAblation)
+{
+    CrossbarParams p;
+    const TimingModel &coarse = cachedTimingModel(p, 4);
+    const TimingModel &fine = cachedTimingModel(p, 16);
+    // Coarser tables are safe (their best entry is no faster than the
+    // finer table's best) and hit the same worst case.
+    EXPECT_GE(coarse.ladder.bestLatencyNs(),
+              fine.ladder.bestLatencyNs());
+    EXPECT_NEAR(coarse.ladder.worstLatencyNs(),
+                fine.ladder.worstLatencyNs(), 1.0);
+}
+
+TEST(TimingTable, RangeShrinkAblation)
+{
+    CrossbarParams p;
+    const TimingModel &nominal = cachedTimingModel(p, 8, 1.0);
+    const TimingModel &shrunk = cachedTimingModel(p, 8, 2.0);
+    // Worst case (the baseline spec) is unchanged; the exploitable
+    // range below it halves.
+    EXPECT_NEAR(shrunk.ladder.worstLatencyNs(),
+                nominal.ladder.worstLatencyNs(), 1.0);
+    EXPECT_GT(shrunk.ladder.bestLatencyNs(),
+              nominal.ladder.bestLatencyNs());
+    // The table's best entry is a bucket worst-corner, so it sits at
+    // or above the shrunk law's floor of 343.5 ns.
+    EXPECT_GE(shrunk.ladder.bestLatencyNs(), 343.4);
+    EXPECT_LT(shrunk.ladder.bestLatencyNs(), 480.0);
+}
+
+TEST(TimingTable, DerivedModelUsesGivenLaw)
+{
+    CrossbarParams p;
+    const TimingModel &full = cachedTimingModel(p, 8);
+    CrossbarParams half = p;
+    half.selectedCells = 4;
+    TimingModel derived =
+        TimingModel::generateDerived(half, full.law, 8);
+    // Fewer selected cells -> higher drops -> faster everywhere.
+    for (unsigned wb = 0; wb < 8; ++wb)
+        for (unsigned bb = 0; bb < 8; ++bb)
+            EXPECT_LE(derived.location.at(wb, bb, 0).latencyNs,
+                      full.location.at(wb, bb, 0).latencyNs + 1e-9);
+}
+
+TEST(TimingTable, CachedModelIsStable)
+{
+    CrossbarParams p;
+    const TimingModel &a = cachedTimingModel(p, 8);
+    const TimingModel &b = cachedTimingModel(p, 8);
+    EXPECT_EQ(&a, &b);
+    const TimingModel &c = cachedTimingModel(p, 4);
+    EXPECT_NE(&a, &c);
+}
+
+TEST(PowerTable, PositiveAndContentSensitive)
+{
+    const TimingModel &m = model();
+    ASSERT_FALSE(m.power.empty());
+    double low = m.power.lookup(256, 256, 0, 0);
+    double high = m.power.lookup(256, 256, 512, 512);
+    EXPECT_GT(low, 0.0);
+    EXPECT_GT(high, low);
+}
+
+} // namespace
+} // namespace ladder

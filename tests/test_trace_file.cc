@@ -1,0 +1,99 @@
+/** @file Tests for trace recording and replay. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <unistd.h>
+
+#include "trace/trace_file.hh"
+#include "trace/workloads.hh"
+
+namespace ladder
+{
+namespace
+{
+
+std::string
+tempTracePath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "ladder_trace_" + tag +
+           ".bin";
+}
+
+TEST(TraceFile, RoundTripBitIdentical)
+{
+    WorkloadParams params = workloadByName("astar");
+    SyntheticSource original(params);
+    std::string path = tempTracePath("roundtrip");
+    EXPECT_EQ(recordTrace(original, 500, path), 500u);
+
+    // A fresh source with the same seed replays the same prefix.
+    SyntheticSource reference(params);
+    TraceFileSource replay(path);
+    EXPECT_EQ(replay.records(), 500u);
+    EXPECT_EQ(replay.footprintBytes(),
+              reference.footprintBytes());
+    for (int i = 0; i < 500; ++i) {
+        TraceRecord a = reference.next();
+        TraceRecord b = replay.next();
+        EXPECT_EQ(a.lineAddr, b.lineAddr) << "record " << i;
+        EXPECT_EQ(a.nonMemBefore, b.nonMemBefore);
+        EXPECT_EQ(a.isWrite, b.isWrite);
+        EXPECT_EQ(a.dependent, b.dependent);
+        EXPECT_EQ(a.storeOffset, b.storeOffset);
+        EXPECT_EQ(a.storeData, b.storeData);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, ReplayLoops)
+{
+    WorkloadParams params = workloadByName("libq");
+    SyntheticSource source(params);
+    std::string path = tempTracePath("loops");
+    recordTrace(source, 10, path);
+    TraceFileSource replay(path);
+    TraceRecord first = replay.next();
+    for (int i = 0; i < 9; ++i)
+        replay.next();
+    EXPECT_EQ(replay.loops(), 1u);
+    TraceRecord again = replay.next();
+    EXPECT_EQ(again.lineAddr, first.lineAddr);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, RejectsGarbage)
+{
+    std::string path = tempTracePath("garbage");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("not a trace", f);
+    std::fclose(f);
+    EXPECT_THROW(TraceFileSource{path}, std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, RejectsMissingFile)
+{
+    EXPECT_THROW(TraceFileSource{"/nonexistent/trace.bin"},
+                 std::runtime_error);
+}
+
+TEST(TraceFile, TruncatedBodyDetected)
+{
+    WorkloadParams params = workloadByName("mcf");
+    SyntheticSource source(params);
+    std::string path = tempTracePath("trunc");
+    recordTrace(source, 100, path);
+    // Chop the file.
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), size - 40), 0);
+    EXPECT_THROW(TraceFileSource{path}, std::runtime_error);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace ladder

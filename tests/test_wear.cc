@@ -1,0 +1,254 @@
+/** @file Tests for the wear-leveling substrate. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "sim/experiment.hh"
+#include "wear/horizontal.hh"
+#include "wear/lifetime.hh"
+#include "wear/segment_swap.hh"
+#include "wear/start_gap.hh"
+
+namespace ladder
+{
+namespace
+{
+
+TEST(StartGap, RemapIsInjectiveOverRegion)
+{
+    const std::uint64_t lines = 64;
+    StartGapRemapper remap(0, lines, 4);
+    // Drive many gap movements and check injectivity each epoch.
+    for (int step = 0; step < 200; ++step) {
+        std::set<Addr> seen;
+        for (std::uint64_t l = 0; l < lines; ++l) {
+            Addr phys = remap.remap(l * lineBytes);
+            EXPECT_LT(phys, (lines + 1) * lineBytes);
+            EXPECT_TRUE(seen.insert(phys).second)
+                << "collision at step " << step << " line " << l;
+        }
+        remap.noteDataWrite(0);
+        remap.noteDataWrite(0);
+        remap.noteDataWrite(0);
+        remap.noteDataWrite(0);
+        remap.collectMoves();
+    }
+}
+
+TEST(StartGap, GapNeverMapped)
+{
+    const std::uint64_t lines = 16;
+    StartGapRemapper remap(0, lines, 1);
+    for (int step = 0; step < 60; ++step) {
+        Addr gapAddr = remap.gap() * lineBytes;
+        for (std::uint64_t l = 0; l < lines; ++l)
+            EXPECT_NE(remap.remap(l * lineBytes), gapAddr);
+        remap.noteDataWrite(0);
+        remap.collectMoves();
+    }
+}
+
+TEST(StartGap, MovesAtConfiguredPeriod)
+{
+    StartGapRemapper remap(0, 32, 10);
+    for (int i = 0; i < 9; ++i)
+        remap.noteDataWrite(0);
+    EXPECT_TRUE(remap.collectMoves().empty());
+    remap.noteDataWrite(0);
+    auto moves = remap.collectMoves();
+    ASSERT_EQ(moves.size(), 1u);
+    // The displaced line moves into the old gap slot.
+    EXPECT_EQ(moves[0].to, remap.gap() * lineBytes + lineBytes);
+}
+
+TEST(StartGap, FullRevolutionAdvancesStart)
+{
+    const std::uint64_t lines = 8;
+    StartGapRemapper remap(0, lines, 1);
+    std::uint64_t start0 = remap.start();
+    for (std::uint64_t i = 0; i <= lines; ++i) {
+        remap.noteDataWrite(0);
+        remap.collectMoves();
+    }
+    EXPECT_EQ(remap.start(), start0 + 1);
+}
+
+TEST(StartGap, OutsideRegionUntouched)
+{
+    StartGapRemapper remap(4096, 16, 4);
+    EXPECT_EQ(remap.remap(0), 0u);
+    EXPECT_EQ(remap.remap(100 * lineBytes * 1024), 6553600u);
+}
+
+TEST(StartGap, RotationMovesHotLineAcrossSlots)
+{
+    const std::uint64_t lines = 8;
+    StartGapRemapper remap(0, lines, 1);
+    std::set<Addr> physSeen;
+    for (int i = 0; i < 2000; ++i) {
+        physSeen.insert(remap.remap(0)); // logical line 0
+        remap.noteDataWrite(0);
+        remap.collectMoves();
+    }
+    // Logical line 0 visits every physical slot.
+    EXPECT_EQ(physSeen.size(), lines + 1);
+}
+
+TEST(SegmentSwap, RemapIsInjective)
+{
+    SegmentSwapRemapper remap(0, 8, 4096 * 4, 100);
+    std::set<Addr> seen;
+    for (std::uint64_t l = 0; l < 8 * 4 * 64; ++l) {
+        Addr phys = remap.remap(l * lineBytes);
+        EXPECT_TRUE(seen.insert(phys).second);
+    }
+}
+
+TEST(SegmentSwap, SwapEmitsCopiesForBothSegments)
+{
+    const std::uint64_t segBytes = 4096 * 2; // 2 pages
+    SegmentSwapRemapper remap(0, 4, segBytes, 50);
+    // Hammer segment 0 to make it hot.
+    for (int i = 0; i < 50; ++i)
+        remap.noteDataWrite(0);
+    auto moves = remap.collectMoves();
+    if (remap.swaps() > 0) {
+        EXPECT_EQ(moves.size(), 2 * segBytes / lineBytes);
+        // Every move is within the region.
+        for (const auto &m : moves) {
+            EXPECT_LT(m.from, 4 * segBytes);
+            EXPECT_LT(m.to, 4 * segBytes);
+        }
+    }
+}
+
+TEST(SegmentSwap, MappingChangesAfterSwap)
+{
+    const std::uint64_t segBytes = 4096;
+    SegmentSwapRemapper remap(0, 4, segBytes, 20);
+    Addr before = remap.remap(0);
+    for (int round = 0; round < 50 && remap.swaps() == 0; ++round) {
+        for (int i = 0; i < 20; ++i)
+            remap.noteDataWrite(before);
+        remap.collectMoves();
+        before = remap.remap(0);
+    }
+    EXPECT_GT(remap.swaps(), 0u);
+    EXPECT_NE(remap.remap(0), 0u * lineBytes + 0);
+}
+
+TEST(Hwl, EncodeDecodeRoundTripAcrossRotations)
+{
+    auto layout = std::make_shared<MetadataLayout>(
+        MemoryGeometry{}, 1000);
+    auto inner = makeScheme(SchemeKind::LadderEst, CrossbarParams{},
+                            layout, {});
+    HorizontalWearScheme hwl(inner, 2);
+    Rng rng(1);
+    Addr addr = 64;
+    for (int i = 0; i < 20; ++i) {
+        hwl.noteWrite(addr); // advance rotation over time
+        LineData data;
+        for (auto &b : data)
+            b = static_cast<std::uint8_t>(rng.nextBounded(256));
+        LineData encoded = hwl.encodeData(addr, data);
+        EXPECT_EQ(hwl.decodeData(addr, encoded), data);
+    }
+}
+
+TEST(Hwl, RotationAdvancesEveryPeriod)
+{
+    auto layout = std::make_shared<MetadataLayout>(
+        MemoryGeometry{}, 1000);
+    auto inner = makeScheme(SchemeKind::Baseline, CrossbarParams{},
+                            layout, {});
+    HorizontalWearScheme hwl(inner, 3);
+    Addr addr = 128;
+    EXPECT_EQ(hwl.rotationOf(addr), 0u);
+    hwl.noteWrite(addr);
+    hwl.noteWrite(addr);
+    EXPECT_EQ(hwl.rotationOf(addr), 0u);
+    hwl.noteWrite(addr);
+    EXPECT_EQ(hwl.rotationOf(addr), 1u);
+    // Other lines are unaffected.
+    EXPECT_EQ(hwl.rotationOf(addr + lineBytes), 0u);
+}
+
+TEST(Hwl, RotationMovesBytesToDifferentMats)
+{
+    auto layout = std::make_shared<MetadataLayout>(
+        MemoryGeometry{}, 1000);
+    auto inner = makeScheme(SchemeKind::Baseline, CrossbarParams{},
+                            layout, {});
+    HorizontalWearScheme hwl(inner, 1);
+    LineData data = filledLine(0);
+    data[0] = 0xff;
+    LineData e0 = hwl.encodeData(0, data);
+    hwl.noteWrite(0);
+    LineData e1 = hwl.encodeData(0, data);
+    EXPECT_EQ(e0[0], 0xff);
+    EXPECT_EQ(e1[1], 0xff);
+    EXPECT_EQ(e1[0], 0x00);
+}
+
+TEST(Lifetime, LeveledBeatsUnleveledForSkewedWrites)
+{
+    std::unordered_map<std::uint64_t, std::uint32_t> writes;
+    writes[0] = 100'000; // one very hot page
+    for (std::uint64_t p = 1; p < 100; ++p)
+        writes[p] = 100;
+    LifetimeEstimate est = estimateLifetime(writes, 1.0);
+    EXPECT_GT(est.unevenness, 10.0);
+    EXPECT_GT(est.leveledYears, est.unleveledYears);
+}
+
+TEST(Lifetime, ProportionalToWriteRate)
+{
+    std::unordered_map<std::uint64_t, std::uint32_t> writes;
+    for (std::uint64_t p = 0; p < 64; ++p)
+        writes[p] = 1000;
+    LifetimeEstimate slow = estimateLifetime(writes, 2.0);
+    LifetimeEstimate fast = estimateLifetime(writes, 1.0);
+    EXPECT_NEAR(slow.leveledYears / fast.leveledYears, 2.0, 1e-9);
+}
+
+TEST(Lifetime, ExtraWritesCostLifetime)
+{
+    // Paper §6.4: LADDER's ~3% extra writes cost ~2.9% lifetime under
+    // leveling.
+    std::unordered_map<std::uint64_t, std::uint32_t> base, ladder;
+    for (std::uint64_t p = 0; p < 128; ++p) {
+        base[p] = 1000;
+        ladder[p] = 1030;
+    }
+    LifetimeEstimate b = estimateLifetime(base, 1.0);
+    LifetimeEstimate l = estimateLifetime(ladder, 1.0);
+    EXPECT_NEAR(l.leveledYears / b.leveledYears, 1.0 / 1.03, 1e-3);
+}
+
+TEST(WearIntegration, StartGapPreservesSystemCorrectness)
+{
+    // Run a short timed simulation with Start-Gap installed and check
+    // it completes with sane traffic (content integrity is enforced
+    // by internal assertions and the read path).
+    ExperimentConfig cfg;
+    cfg.warmupInstr = 60'000;
+    cfg.measureInstr = 30'000;
+    cfg.cacheScale = 1.0 / 16.0;
+    SystemConfig sys =
+        makeSystemConfig(SchemeKind::LadderEst, "astar", cfg);
+    System system(sys);
+    // Level the first half of the data region.
+    AddressMap map(sys.geometry);
+    StartGapRemapper remap(0, map.totalPages() * 64 / 4, 20);
+    system.setRemapper(&remap);
+    SimResult r = system.run(cfg.warmupInstr, cfg.measureInstr);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_GT(r.dataWrites, 0u);
+    EXPECT_GT(remap.gapMoves(), 0u);
+}
+
+} // namespace
+} // namespace ladder

@@ -1,0 +1,95 @@
+/** @file Tests for the named workload configurations. */
+
+#include <gtest/gtest.h>
+
+#include "trace/workloads.hh"
+
+namespace ladder
+{
+namespace
+{
+
+TEST(Workloads, PaperWorkloadListShape)
+{
+    auto singles = singleWorkloadNames();
+    EXPECT_EQ(singles.size(), 8u);
+    EXPECT_EQ(singles.front(), "astar");
+    EXPECT_EQ(singles.back(), "perlb");
+    auto mixes = mixWorkloads();
+    EXPECT_EQ(mixes.size(), 8u);
+    for (const auto &mix : mixes)
+        EXPECT_EQ(mix.second.size(), 4u);
+    EXPECT_EQ(allWorkloadNames().size(), 16u);
+}
+
+TEST(Workloads, Mix1MatchesTable3)
+{
+    auto mixes = mixWorkloads();
+    EXPECT_EQ(mixes[0].first, "mix-1");
+    EXPECT_EQ(mixes[0].second,
+              (std::vector<std::string>{"astar", "lbm", "mcf",
+                                        "cactusADM"}));
+}
+
+TEST(Workloads, EveryNameResolves)
+{
+    for (const auto &name : singleWorkloadNames()) {
+        WorkloadParams p = workloadByName(name);
+        EXPECT_GT(p.memFraction, 0.0);
+        EXPECT_LT(p.memFraction, 1.0);
+        EXPECT_GT(p.workingSetPages, 0u);
+    }
+    for (const auto &mix : mixWorkloads())
+        for (const auto &member : mix.second)
+            EXPECT_NO_THROW(workloadByName(member));
+}
+
+TEST(Workloads, ShortAndLongNamesAgree)
+{
+    WorkloadParams a = workloadByName("libq");
+    WorkloadParams b = workloadByName("libquantum");
+    EXPECT_EQ(a.workingSetPages, b.workingSetPages);
+    EXPECT_EQ(a.seed, b.seed);
+}
+
+TEST(Workloads, UnknownNameIsFatal)
+{
+    EXPECT_THROW(workloadByName("gcc"), std::runtime_error);
+}
+
+TEST(Workloads, SeedSaltChangesSeedOnly)
+{
+    WorkloadParams a = workloadByName("mcf", 0);
+    WorkloadParams b = workloadByName("mcf", 1);
+    EXPECT_NE(a.seed, b.seed);
+    EXPECT_EQ(a.workingSetPages, b.workingSetPages);
+}
+
+TEST(Workloads, ScaleShrinksWorkingSet)
+{
+    WorkloadParams full = workloadByName("lbm", 0, 1.0);
+    WorkloadParams half = workloadByName("lbm", 0, 0.5);
+    EXPECT_EQ(half.workingSetPages, full.workingSetPages / 2);
+    WorkloadParams tiny = workloadByName("lbm", 0, 1e-9);
+    EXPECT_GE(tiny.workingSetPages, 4u);
+}
+
+TEST(Workloads, IsMixWorkload)
+{
+    EXPECT_TRUE(isMixWorkload("mix-1"));
+    EXPECT_TRUE(isMixWorkload("mix-8"));
+    EXPECT_FALSE(isMixWorkload("astar"));
+}
+
+TEST(Workloads, CharacterDiffersAcrossBenchmarks)
+{
+    // lbm is write-heavy and streaming; mcf is chase-heavy.
+    WorkloadParams lbm = workloadByName("lbm");
+    WorkloadParams mcf = workloadByName("mcf");
+    EXPECT_GT(lbm.writeFraction, mcf.writeFraction);
+    EXPECT_GT(lbm.streamFraction, mcf.streamFraction);
+    EXPECT_GT(mcf.dependentFraction, lbm.dependentFraction);
+}
+
+} // namespace
+} // namespace ladder
