@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_wl_content.dir/fig04_wl_content.cc.o"
+  "CMakeFiles/fig04_wl_content.dir/fig04_wl_content.cc.o.d"
+  "fig04_wl_content"
+  "fig04_wl_content.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_wl_content.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

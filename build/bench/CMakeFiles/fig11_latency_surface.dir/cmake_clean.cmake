@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_latency_surface.dir/fig11_latency_surface.cc.o"
+  "CMakeFiles/fig11_latency_surface.dir/fig11_latency_surface.cc.o.d"
+  "fig11_latency_surface"
+  "fig11_latency_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_latency_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_write_service.dir/fig12_write_service.cc.o"
+  "CMakeFiles/fig12_write_service.dir/fig12_write_service.cc.o.d"
+  "fig12_write_service"
+  "fig12_write_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_write_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_counter_estimation.dir/fig15_counter_estimation.cc.o"
+  "CMakeFiles/fig15_counter_estimation.dir/fig15_counter_estimation.cc.o.d"
+  "fig15_counter_estimation"
+  "fig15_counter_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_counter_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

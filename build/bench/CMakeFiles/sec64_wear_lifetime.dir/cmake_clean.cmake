@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec64_wear_lifetime.dir/sec64_wear_lifetime.cc.o"
+  "CMakeFiles/sec64_wear_lifetime.dir/sec64_wear_lifetime.cc.o.d"
+  "sec64_wear_lifetime"
+  "sec64_wear_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec64_wear_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_dynamic_range.dir/sec7_dynamic_range.cc.o"
+  "CMakeFiles/sec7_dynamic_range.dir/sec7_dynamic_range.cc.o.d"
+  "sec7_dynamic_range"
+  "sec7_dynamic_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_dynamic_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/wear_leveling_demo.cpp" "examples/CMakeFiles/wear_leveling_demo.dir/wear_leveling_demo.cpp.o" "gcc" "examples/CMakeFiles/wear_leveling_demo.dir/wear_leveling_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ladder_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wear/CMakeFiles/ladder_wear.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwcost/CMakeFiles/ladder_hwcost.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ladder_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ladder_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/schemes/CMakeFiles/ladder_schemes.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/ladder_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ladder_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ladder_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/reram/CMakeFiles/ladder_reram.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/ladder_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ladder_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_sim.dir/workload_sim.cpp.o"
+  "CMakeFiles/workload_sim.dir/workload_sim.cpp.o.d"
+  "workload_sim"
+  "workload_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("circuit")
+subdirs("reram")
+subdirs("trace")
+subdirs("mem")
+subdirs("ctrl")
+subdirs("schemes")
+subdirs("cache")
+subdirs("cpu")
+subdirs("wear")
+subdirs("hwcost")
+subdirs("sim")

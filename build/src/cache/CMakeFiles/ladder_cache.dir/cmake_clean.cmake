@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ladder_cache.dir/cache.cc.o"
+  "CMakeFiles/ladder_cache.dir/cache.cc.o.d"
+  "CMakeFiles/ladder_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/ladder_cache.dir/hierarchy.cc.o.d"
+  "libladder_cache.a"
+  "libladder_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ladder_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libladder_cache.a"
+)

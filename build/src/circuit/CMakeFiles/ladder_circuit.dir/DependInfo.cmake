@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/cell_model.cc" "src/circuit/CMakeFiles/ladder_circuit.dir/cell_model.cc.o" "gcc" "src/circuit/CMakeFiles/ladder_circuit.dir/cell_model.cc.o.d"
+  "/root/repo/src/circuit/fastmodel.cc" "src/circuit/CMakeFiles/ladder_circuit.dir/fastmodel.cc.o" "gcc" "src/circuit/CMakeFiles/ladder_circuit.dir/fastmodel.cc.o.d"
+  "/root/repo/src/circuit/latency.cc" "src/circuit/CMakeFiles/ladder_circuit.dir/latency.cc.o" "gcc" "src/circuit/CMakeFiles/ladder_circuit.dir/latency.cc.o.d"
+  "/root/repo/src/circuit/mna.cc" "src/circuit/CMakeFiles/ladder_circuit.dir/mna.cc.o" "gcc" "src/circuit/CMakeFiles/ladder_circuit.dir/mna.cc.o.d"
+  "/root/repo/src/circuit/solvers.cc" "src/circuit/CMakeFiles/ladder_circuit.dir/solvers.cc.o" "gcc" "src/circuit/CMakeFiles/ladder_circuit.dir/solvers.cc.o.d"
+  "/root/repo/src/circuit/sparse.cc" "src/circuit/CMakeFiles/ladder_circuit.dir/sparse.cc.o" "gcc" "src/circuit/CMakeFiles/ladder_circuit.dir/sparse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ladder_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ladder_circuit.dir/cell_model.cc.o"
+  "CMakeFiles/ladder_circuit.dir/cell_model.cc.o.d"
+  "CMakeFiles/ladder_circuit.dir/fastmodel.cc.o"
+  "CMakeFiles/ladder_circuit.dir/fastmodel.cc.o.d"
+  "CMakeFiles/ladder_circuit.dir/latency.cc.o"
+  "CMakeFiles/ladder_circuit.dir/latency.cc.o.d"
+  "CMakeFiles/ladder_circuit.dir/mna.cc.o"
+  "CMakeFiles/ladder_circuit.dir/mna.cc.o.d"
+  "CMakeFiles/ladder_circuit.dir/solvers.cc.o"
+  "CMakeFiles/ladder_circuit.dir/solvers.cc.o.d"
+  "CMakeFiles/ladder_circuit.dir/sparse.cc.o"
+  "CMakeFiles/ladder_circuit.dir/sparse.cc.o.d"
+  "libladder_circuit.a"
+  "libladder_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ladder_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ladder_common.dir/bitops.cc.o"
+  "CMakeFiles/ladder_common.dir/bitops.cc.o.d"
+  "CMakeFiles/ladder_common.dir/config.cc.o"
+  "CMakeFiles/ladder_common.dir/config.cc.o.d"
+  "CMakeFiles/ladder_common.dir/event_queue.cc.o"
+  "CMakeFiles/ladder_common.dir/event_queue.cc.o.d"
+  "CMakeFiles/ladder_common.dir/log.cc.o"
+  "CMakeFiles/ladder_common.dir/log.cc.o.d"
+  "CMakeFiles/ladder_common.dir/rng.cc.o"
+  "CMakeFiles/ladder_common.dir/rng.cc.o.d"
+  "CMakeFiles/ladder_common.dir/stats.cc.o"
+  "CMakeFiles/ladder_common.dir/stats.cc.o.d"
+  "libladder_common.a"
+  "libladder_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ladder_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ladder_cpu.dir/core.cc.o"
+  "CMakeFiles/ladder_cpu.dir/core.cc.o.d"
+  "libladder_cpu.a"
+  "libladder_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ladder_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ladder_ctrl.dir/controller.cc.o"
+  "CMakeFiles/ladder_ctrl.dir/controller.cc.o.d"
+  "CMakeFiles/ladder_ctrl.dir/fnw.cc.o"
+  "CMakeFiles/ladder_ctrl.dir/fnw.cc.o.d"
+  "CMakeFiles/ladder_ctrl.dir/metadata_cache.cc.o"
+  "CMakeFiles/ladder_ctrl.dir/metadata_cache.cc.o.d"
+  "libladder_ctrl.a"
+  "libladder_ctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ladder_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ladder_hwcost.dir/hwcost.cc.o"
+  "CMakeFiles/ladder_hwcost.dir/hwcost.cc.o.d"
+  "libladder_hwcost.a"
+  "libladder_hwcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ladder_hwcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

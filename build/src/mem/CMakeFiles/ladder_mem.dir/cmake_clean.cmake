@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ladder_mem.dir/backing_store.cc.o"
+  "CMakeFiles/ladder_mem.dir/backing_store.cc.o.d"
+  "libladder_mem.a"
+  "libladder_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ladder_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

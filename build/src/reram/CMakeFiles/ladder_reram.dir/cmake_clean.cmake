@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ladder_reram.dir/geometry.cc.o"
+  "CMakeFiles/ladder_reram.dir/geometry.cc.o.d"
+  "CMakeFiles/ladder_reram.dir/timing_tables.cc.o"
+  "CMakeFiles/ladder_reram.dir/timing_tables.cc.o.d"
+  "libladder_reram.a"
+  "libladder_reram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ladder_reram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

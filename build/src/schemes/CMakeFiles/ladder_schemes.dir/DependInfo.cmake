@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schemes/factory.cc" "src/schemes/CMakeFiles/ladder_schemes.dir/factory.cc.o" "gcc" "src/schemes/CMakeFiles/ladder_schemes.dir/factory.cc.o.d"
+  "/root/repo/src/schemes/fpc.cc" "src/schemes/CMakeFiles/ladder_schemes.dir/fpc.cc.o" "gcc" "src/schemes/CMakeFiles/ladder_schemes.dir/fpc.cc.o.d"
+  "/root/repo/src/schemes/ladder_schemes.cc" "src/schemes/CMakeFiles/ladder_schemes.dir/ladder_schemes.cc.o" "gcc" "src/schemes/CMakeFiles/ladder_schemes.dir/ladder_schemes.cc.o.d"
+  "/root/repo/src/schemes/metadata_layout.cc" "src/schemes/CMakeFiles/ladder_schemes.dir/metadata_layout.cc.o" "gcc" "src/schemes/CMakeFiles/ladder_schemes.dir/metadata_layout.cc.o.d"
+  "/root/repo/src/schemes/partial_counter.cc" "src/schemes/CMakeFiles/ladder_schemes.dir/partial_counter.cc.o" "gcc" "src/schemes/CMakeFiles/ladder_schemes.dir/partial_counter.cc.o.d"
+  "/root/repo/src/schemes/simple_schemes.cc" "src/schemes/CMakeFiles/ladder_schemes.dir/simple_schemes.cc.o" "gcc" "src/schemes/CMakeFiles/ladder_schemes.dir/simple_schemes.cc.o.d"
+  "/root/repo/src/schemes/split_reset.cc" "src/schemes/CMakeFiles/ladder_schemes.dir/split_reset.cc.o" "gcc" "src/schemes/CMakeFiles/ladder_schemes.dir/split_reset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ctrl/CMakeFiles/ladder_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ladder_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/reram/CMakeFiles/ladder_reram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ladder_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/ladder_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

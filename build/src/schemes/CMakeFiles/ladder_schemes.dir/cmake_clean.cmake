@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ladder_schemes.dir/factory.cc.o"
+  "CMakeFiles/ladder_schemes.dir/factory.cc.o.d"
+  "CMakeFiles/ladder_schemes.dir/fpc.cc.o"
+  "CMakeFiles/ladder_schemes.dir/fpc.cc.o.d"
+  "CMakeFiles/ladder_schemes.dir/ladder_schemes.cc.o"
+  "CMakeFiles/ladder_schemes.dir/ladder_schemes.cc.o.d"
+  "CMakeFiles/ladder_schemes.dir/metadata_layout.cc.o"
+  "CMakeFiles/ladder_schemes.dir/metadata_layout.cc.o.d"
+  "CMakeFiles/ladder_schemes.dir/partial_counter.cc.o"
+  "CMakeFiles/ladder_schemes.dir/partial_counter.cc.o.d"
+  "CMakeFiles/ladder_schemes.dir/simple_schemes.cc.o"
+  "CMakeFiles/ladder_schemes.dir/simple_schemes.cc.o.d"
+  "CMakeFiles/ladder_schemes.dir/split_reset.cc.o"
+  "CMakeFiles/ladder_schemes.dir/split_reset.cc.o.d"
+  "libladder_schemes.a"
+  "libladder_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ladder_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

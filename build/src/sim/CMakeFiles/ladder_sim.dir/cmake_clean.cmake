@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ladder_sim.dir/experiment.cc.o"
+  "CMakeFiles/ladder_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/ladder_sim.dir/system.cc.o"
+  "CMakeFiles/ladder_sim.dir/system.cc.o.d"
+  "libladder_sim.a"
+  "libladder_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ladder_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

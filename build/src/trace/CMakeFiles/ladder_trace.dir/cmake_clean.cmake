@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ladder_trace.dir/data_patterns.cc.o"
+  "CMakeFiles/ladder_trace.dir/data_patterns.cc.o.d"
+  "CMakeFiles/ladder_trace.dir/synth.cc.o"
+  "CMakeFiles/ladder_trace.dir/synth.cc.o.d"
+  "CMakeFiles/ladder_trace.dir/trace_file.cc.o"
+  "CMakeFiles/ladder_trace.dir/trace_file.cc.o.d"
+  "CMakeFiles/ladder_trace.dir/workloads.cc.o"
+  "CMakeFiles/ladder_trace.dir/workloads.cc.o.d"
+  "libladder_trace.a"
+  "libladder_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ladder_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

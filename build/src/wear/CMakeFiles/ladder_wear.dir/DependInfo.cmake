@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wear/horizontal.cc" "src/wear/CMakeFiles/ladder_wear.dir/horizontal.cc.o" "gcc" "src/wear/CMakeFiles/ladder_wear.dir/horizontal.cc.o.d"
+  "/root/repo/src/wear/leader.cc" "src/wear/CMakeFiles/ladder_wear.dir/leader.cc.o" "gcc" "src/wear/CMakeFiles/ladder_wear.dir/leader.cc.o.d"
+  "/root/repo/src/wear/lifetime.cc" "src/wear/CMakeFiles/ladder_wear.dir/lifetime.cc.o" "gcc" "src/wear/CMakeFiles/ladder_wear.dir/lifetime.cc.o.d"
+  "/root/repo/src/wear/segment_swap.cc" "src/wear/CMakeFiles/ladder_wear.dir/segment_swap.cc.o" "gcc" "src/wear/CMakeFiles/ladder_wear.dir/segment_swap.cc.o.d"
+  "/root/repo/src/wear/start_gap.cc" "src/wear/CMakeFiles/ladder_wear.dir/start_gap.cc.o" "gcc" "src/wear/CMakeFiles/ladder_wear.dir/start_gap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ctrl/CMakeFiles/ladder_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/reram/CMakeFiles/ladder_reram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ladder_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ladder_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/ladder_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ladder_wear.dir/horizontal.cc.o"
+  "CMakeFiles/ladder_wear.dir/horizontal.cc.o.d"
+  "CMakeFiles/ladder_wear.dir/leader.cc.o"
+  "CMakeFiles/ladder_wear.dir/leader.cc.o.d"
+  "CMakeFiles/ladder_wear.dir/lifetime.cc.o"
+  "CMakeFiles/ladder_wear.dir/lifetime.cc.o.d"
+  "CMakeFiles/ladder_wear.dir/segment_swap.cc.o"
+  "CMakeFiles/ladder_wear.dir/segment_swap.cc.o.d"
+  "CMakeFiles/ladder_wear.dir/start_gap.cc.o"
+  "CMakeFiles/ladder_wear.dir/start_gap.cc.o.d"
+  "libladder_wear.a"
+  "libladder_wear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ladder_wear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_patterns.dir/test_data_patterns.cc.o"
+  "CMakeFiles/test_data_patterns.dir/test_data_patterns.cc.o.d"
+  "test_data_patterns"
+  "test_data_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

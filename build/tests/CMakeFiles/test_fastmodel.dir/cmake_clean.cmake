@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fastmodel.dir/test_fastmodel.cc.o"
+  "CMakeFiles/test_fastmodel.dir/test_fastmodel.cc.o.d"
+  "test_fastmodel"
+  "test_fastmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fastmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

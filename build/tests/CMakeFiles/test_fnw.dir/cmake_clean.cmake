@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fnw.dir/test_fnw.cc.o"
+  "CMakeFiles/test_fnw.dir/test_fnw.cc.o.d"
+  "test_fnw"
+  "test_fnw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fnw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hwcost.dir/test_hwcost.cc.o"
+  "CMakeFiles/test_hwcost.dir/test_hwcost.cc.o.d"
+  "test_hwcost"
+  "test_hwcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hwcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_leader.dir/test_leader.cc.o"
+  "CMakeFiles/test_leader.dir/test_leader.cc.o.d"
+  "test_leader"
+  "test_leader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_leader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metadata_cache.dir/test_metadata_cache.cc.o"
+  "CMakeFiles/test_metadata_cache.dir/test_metadata_cache.cc.o.d"
+  "test_metadata_cache"
+  "test_metadata_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metadata_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

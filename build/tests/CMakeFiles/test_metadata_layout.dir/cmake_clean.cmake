@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metadata_layout.dir/test_metadata_layout.cc.o"
+  "CMakeFiles/test_metadata_layout.dir/test_metadata_layout.cc.o.d"
+  "test_metadata_layout"
+  "test_metadata_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metadata_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mna.dir/test_mna.cc.o"
+  "CMakeFiles/test_mna.dir/test_mna.cc.o.d"
+  "test_mna"
+  "test_mna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

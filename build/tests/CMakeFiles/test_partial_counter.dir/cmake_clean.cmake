@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partial_counter.dir/test_partial_counter.cc.o"
+  "CMakeFiles/test_partial_counter.dir/test_partial_counter.cc.o.d"
+  "test_partial_counter"
+  "test_partial_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partial_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timing_tables.dir/test_timing_tables.cc.o"
+  "CMakeFiles/test_timing_tables.dir/test_timing_tables.cc.o.d"
+  "test_timing_tables"
+  "test_timing_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timing_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wear.dir/test_wear.cc.o"
+  "CMakeFiles/test_wear.dir/test_wear.cc.o.d"
+  "test_wear"
+  "test_wear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
