@@ -1,23 +1,25 @@
 /**
  * @file
- * Shared machinery for the figure-reproduction benches: run a
- * (scheme x workload) matrix with progress reporting and normalize
- * against the baseline, the way the paper's evaluation plots do.
+ * Shared machinery for the figure-reproduction benches: parse the
+ * common arguments, run a (scheme x workload) matrix in parallel via
+ * runMatrixParallel, and normalize against the baseline, the way the
+ * paper's evaluation plots do.
  *
  * Every bench accepts optional key=value arguments:
  *   workloads=astar,lbm,...   subset of workloads
  *   measure=<instructions>    measured window per core
  *   warmup=<instructions>     functional warmup per core
+ *   jobs=<N>                  parallel sweep jobs (0 = one per
+ *                             hardware thread, 1 = serial)
  * and honours LADDER_BENCH_SCALE (multiplies both windows).
  */
 
 #ifndef LADDER_BENCH_BENCH_COMMON_HH
 #define LADDER_BENCH_BENCH_COMMON_HH
 
-#include <unistd.h>
-
+#include <cmath>
 #include <cstdio>
-#include <map>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -27,20 +29,6 @@
 
 namespace ladder
 {
-
-/** Results of a scheme x workload sweep. */
-struct Matrix
-{
-    std::vector<SchemeKind> schemes;
-    std::vector<std::string> workloads;
-    std::map<std::pair<std::string, std::string>, SimResult> results;
-
-    const SimResult &
-    at(SchemeKind kind, const std::string &workload) const
-    {
-        return results.at({schemeKindName(kind), workload});
-    }
-};
 
 /** Parse common bench arguments into the experiment config. */
 inline std::vector<std::string>
@@ -54,6 +42,8 @@ parseBenchArgs(int argc, char **argv, ExperimentConfig &cfg)
         "warmup", static_cast<std::int64_t>(cfg.warmupInstr)));
     cfg.seed = static_cast<std::uint64_t>(
         config.getInt("seed", static_cast<std::int64_t>(cfg.seed)));
+    cfg.jobs = static_cast<unsigned>(config.getInt(
+        "jobs", static_cast<std::int64_t>(cfg.jobs)));
     std::string workloads = config.getString("workloads", "");
     std::vector<std::string> names;
     if (workloads.empty())
@@ -69,42 +59,12 @@ parseBenchArgs(int argc, char **argv, ExperimentConfig &cfg)
     return names;
 }
 
-/** Run the sweep, reporting progress on stderr. */
-inline Matrix
-runMatrix(const std::vector<SchemeKind> &schemes,
-          const std::vector<std::string> &workloads,
-          const ExperimentConfig &cfg)
-{
-    Matrix matrix;
-    matrix.schemes = schemes;
-    matrix.workloads = workloads;
-    std::size_t total = schemes.size() * workloads.size();
-    std::size_t done = 0;
-    // Progress only on interactive terminals; keep piped/teed output
-    // free of carriage-return noise.
-    const bool interactive = isatty(fileno(stderr));
-    for (const auto &workload : workloads) {
-        for (SchemeKind kind : schemes) {
-            ++done;
-            if (interactive) {
-                std::fprintf(stderr, "\r[%zu/%zu] %-14s %-10s", done,
-                             total, schemeKindName(kind).c_str(),
-                             workload.c_str());
-                std::fflush(stderr);
-            }
-            matrix.results[{schemeKindName(kind), workload}] =
-                runOne(kind, workload, cfg);
-        }
-    }
-    if (interactive)
-        std::fprintf(stderr, "\r%60s\r", "");
-    return matrix;
-}
-
 /**
  * Print a normalized table: one row per workload plus an AVG row,
  * one column per scheme, where each value is
- * metric(scheme) / metric(baseline) for that workload.
+ * metric(scheme) / metric(baseline) for that workload. A zero
+ * baseline metric yields nan (with a stderr warning) rather than a
+ * silent 0.0, so a broken run cannot masquerade as a perfect one.
  */
 template <typename MetricFn>
 inline void
@@ -119,11 +79,20 @@ printNormalizedTable(const Matrix &matrix, SchemeKind baseline,
     std::vector<double> sums(matrix.schemes.size(), 0.0);
     for (const auto &workload : matrix.workloads) {
         double base = metric(matrix.at(baseline, workload));
+        if (base == 0.0) {
+            std::fprintf(stderr,
+                         "warn: baseline metric is zero for workload "
+                         "'%s'; normalized values are nan\n",
+                         workload.c_str());
+        }
         std::vector<double> row;
         for (std::size_t s = 0; s < matrix.schemes.size(); ++s) {
             double value =
                 metric(matrix.at(matrix.schemes[s], workload));
-            double normalized = base != 0.0 ? value / base : 0.0;
+            double normalized =
+                base != 0.0
+                    ? value / base
+                    : std::numeric_limits<double>::quiet_NaN();
             row.push_back(normalized);
             sums[s] += normalized;
         }

@@ -22,7 +22,7 @@ main(int argc, char **argv)
     std::printf("=== Figure 2: potential of content/location-aware "
                 "writes (normalized IPC) ===\n\n");
     Matrix matrix =
-        runMatrix({SchemeKind::Baseline, SchemeKind::Location,
+        runMatrixParallel({SchemeKind::Baseline, SchemeKind::Location,
                    SchemeKind::Oracle},
                   singleWorkloadNames(), cfg);
 

@@ -11,8 +11,11 @@
 
 #include <cstdio>
 #include <cstring>
+#include <future>
+#include <vector>
 
 #include "circuit/mna.hh"
+#include "common/thread_pool.hh"
 #include "reram/timing_tables.hh"
 
 using namespace ladder;
@@ -73,16 +76,32 @@ main(int argc, char **argv)
         CrossbarParams small = params;
         small.rows = 64;
         small.cols = 64;
+        // Each spot check is an independent full MNA solve; fan the
+        // corners out on the pool and print in canonical order.
         CrossbarMna mna(small);
-        for (unsigned c : {0u, 56u}) {
-            for (unsigned wl : {0u, 63u}) {
-                ResetCondition cond{wl, 7, c, 64};
-                ResetEvaluation eval = mna.evaluate(cond);
-                std::printf("  wl=%2u bl=63 c=%2u: Vd=%.4f V -> "
-                            "%.1f ns\n",
-                            wl, c, eval.minDropVolts,
-                            model.law.latencyNs(eval.minDropVolts));
-            }
+        struct Spot
+        {
+            unsigned c;
+            unsigned wl;
+        };
+        std::vector<Spot> spots;
+        for (unsigned c : {0u, 56u})
+            for (unsigned wl : {0u, 63u})
+                spots.push_back({c, wl});
+        ThreadPool pool;
+        std::vector<std::future<ResetEvaluation>> futures;
+        for (const Spot &spot : spots) {
+            futures.push_back(pool.submit([&mna, spot]() {
+                ResetCondition cond{spot.wl, 7, spot.c, 64};
+                return mna.evaluate(cond);
+            }));
+        }
+        for (std::size_t i = 0; i < spots.size(); ++i) {
+            ResetEvaluation eval = futures[i].get();
+            std::printf("  wl=%2u bl=63 c=%2u: Vd=%.4f V -> "
+                        "%.1f ns\n",
+                        spots[i].wl, spots[i].c, eval.minDropVolts,
+                        model.law.latencyNs(eval.minDropVolts));
         }
     }
     return 0;

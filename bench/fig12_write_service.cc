@@ -21,7 +21,7 @@ main(int argc, char **argv)
 
     std::printf("=== Figure 12: normalized average write service time "
                 "===\n\n");
-    Matrix matrix = runMatrix(paperSchemes(), workloads, cfg);
+    Matrix matrix = runMatrixParallel(paperSchemes(), workloads, cfg);
     printNormalizedTable(matrix, SchemeKind::Baseline,
                          [](const SimResult &r) {
                              return r.avgWriteServiceNs;

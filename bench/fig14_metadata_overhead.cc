@@ -9,7 +9,10 @@
  * Includes the Hybrid low-row-threshold ablation.
  */
 
+#include <future>
+
 #include "bench_common.hh"
+#include "common/thread_pool.hh"
 
 using namespace ladder;
 
@@ -22,7 +25,7 @@ main(int argc, char **argv)
     std::vector<SchemeKind> schemes = {SchemeKind::LadderBasic,
                                        SchemeKind::LadderEst,
                                        SchemeKind::LadderHybrid};
-    Matrix matrix = runMatrix(schemes, workloads, cfg);
+    Matrix matrix = runMatrixParallel(schemes, workloads, cfg);
 
     std::printf("=== Figure 14a: additional reads due to metadata "
                 "maintenance (%% of demand reads) ===\n\n");
@@ -48,11 +51,13 @@ main(int argc, char **argv)
                 "---\n");
     std::printf("%10s %16s %16s\n", "low rows", "extra reads %",
                 "extra writes %");
-    for (unsigned lowRows : {0u, 64u, 128u, 256u}) {
+    const std::vector<unsigned> lowRowsSweep = {0u, 64u, 128u, 256u};
+    auto ablate = [&cfg](unsigned lowRows) {
         ExperimentConfig sweep = cfg;
         sweep.schemeOptions.hybridLowRows = lowRows;
-        SimResult r =
-            runOne(SchemeKind::LadderHybrid, "astar", sweep);
+        return runOne(SchemeKind::LadderHybrid, "astar", sweep);
+    };
+    auto show = [](unsigned lowRows, const SimResult &r) {
         std::printf("%10u %16.1f %16.1f\n", lowRows,
                     100.0 *
                         static_cast<double>(r.metadataReads +
@@ -60,6 +65,18 @@ main(int argc, char **argv)
                         static_cast<double>(r.dataReads),
                     100.0 * static_cast<double>(r.metadataWrites) /
                         static_cast<double>(r.dataWrites));
+    };
+    if (cfg.jobs == 1) {
+        for (unsigned lowRows : lowRowsSweep)
+            show(lowRows, ablate(lowRows));
+    } else {
+        ThreadPool pool(cfg.jobs);
+        std::vector<std::future<SimResult>> futures;
+        for (unsigned lowRows : lowRowsSweep)
+            futures.push_back(pool.submit(
+                [&ablate, lowRows]() { return ablate(lowRows); }));
+        for (std::size_t i = 0; i < lowRowsSweep.size(); ++i)
+            show(lowRowsSweep[i], futures[i].get());
     }
     return 0;
 }

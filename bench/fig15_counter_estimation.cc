@@ -29,14 +29,19 @@ main(int argc, char **argv)
                 "accurate", "est-noshift", "est-shift",
                 "diff-noshift");
 
+    Matrix matrix = runMatrixParallel(
+        {SchemeKind::LadderBasic, SchemeKind::LadderEstNoShift,
+         SchemeKind::LadderEst},
+        workloads, cfg);
+
     double sumNo = 0.0, sumShift = 0.0;
     for (const auto &workload : workloads) {
-        SimResult basic =
-            runOne(SchemeKind::LadderBasic, workload, cfg);
-        SimResult noShift =
-            runOne(SchemeKind::LadderEstNoShift, workload, cfg);
-        SimResult shifted =
-            runOne(SchemeKind::LadderEst, workload, cfg);
+        const SimResult &basic =
+            matrix.at(SchemeKind::LadderBasic, workload);
+        const SimResult &noShift =
+            matrix.at(SchemeKind::LadderEstNoShift, workload);
+        const SimResult &shifted =
+            matrix.at(SchemeKind::LadderEst, workload);
         double diffNo =
             noShift.estimatedCwMean - basic.accurateCwMean;
         double diffShift =

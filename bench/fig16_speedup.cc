@@ -12,7 +12,10 @@
  * baseline.
  */
 
+#include <future>
+
 #include "bench_common.hh"
+#include "common/thread_pool.hh"
 
 using namespace ladder;
 
@@ -54,7 +57,7 @@ main(int argc, char **argv)
 
     std::printf("=== Figure 16: speedup over baseline (weighted IPC "
                 "for mixes) ===\n\n");
-    Matrix matrix = runMatrix(paperSchemes(), workloads, cfg);
+    Matrix matrix = runMatrixParallel(paperSchemes(), workloads, cfg);
 
     std::vector<std::string> columns;
     for (SchemeKind kind : matrix.schemes)
@@ -100,19 +103,32 @@ main(int argc, char **argv)
                 "+5%% over Basic, Hybrid +2.8%% over Est, ~98%% of "
                 "Oracle, ~1.46 overall\n");
 
-    // Ablation: metadata cache size (paper: <2% beyond 64KB).
+    // Ablation: metadata cache size (paper: <2% beyond 64KB). The
+    // five sizes are independent runs; fan them out on the pool and
+    // print in canonical (ascending-size) order.
     std::printf("\n--- ablation: LRS-metadata cache size "
                 "(LADDER-Hybrid, astar) ---\n");
     std::printf("%10s %12s\n", "size KB", "IPC");
-    for (std::size_t kb : {16, 32, 64, 128, 256}) {
-        ExperimentConfig sweep = cfg;
+    const std::vector<std::size_t> sizesKb = {16, 32, 64, 128, 256};
+    auto ablate = [&cfg](std::size_t kb) {
         SystemConfig sysCfg = makeSystemConfig(
-            SchemeKind::LadderHybrid, "astar", sweep);
+            SchemeKind::LadderHybrid, "astar", cfg);
         sysCfg.controller.metadataCacheBytes = kb * 1024;
         System system(sysCfg);
-        SimResult r =
-            system.run(sweep.warmupInstr, sweep.measureInstr);
-        std::printf("%10zu %12.4f\n", kb, r.ipc);
+        return system.run(cfg.warmupInstr, cfg.measureInstr);
+    };
+    if (cfg.jobs == 1) {
+        for (std::size_t kb : sizesKb)
+            std::printf("%10zu %12.4f\n", kb, ablate(kb).ipc);
+    } else {
+        ThreadPool pool(cfg.jobs);
+        std::vector<std::future<SimResult>> futures;
+        for (std::size_t kb : sizesKb)
+            futures.push_back(
+                pool.submit([&ablate, kb]() { return ablate(kb); }));
+        for (std::size_t i = 0; i < sizesKb.size(); ++i)
+            std::printf("%10zu %12.4f\n", sizesKb[i],
+                        futures[i].get().ipc);
     }
     return 0;
 }

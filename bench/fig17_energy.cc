@@ -18,7 +18,7 @@ main(int argc, char **argv)
     ExperimentConfig cfg = defaultExperimentConfig();
     auto workloads = parseBenchArgs(argc, argv, cfg);
 
-    Matrix matrix = runMatrix(paperSchemes(), workloads, cfg);
+    Matrix matrix = runMatrixParallel(paperSchemes(), workloads, cfg);
 
     std::printf("=== Figure 17: normalized dynamic memory energy "
                 "(read+write) ===\n\n");

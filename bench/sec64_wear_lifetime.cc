@@ -11,9 +11,12 @@
  * leveling is enabled (still ~44% over baseline).
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <future>
 
 #include "bench_common.hh"
+#include "common/thread_pool.hh"
 #include "wear/lifetime.hh"
 #include "wear/start_gap.hh"
 
@@ -74,14 +77,44 @@ main(int argc, char **argv)
                 "===\n\n",
                 workload.c_str());
 
-    Outcome baseNo = runWithWearLeveling(SchemeKind::Baseline,
-                                         workload, cfg, false);
-    Outcome baseWl = runWithWearLeveling(SchemeKind::Baseline,
-                                         workload, cfg, true);
-    Outcome hybNo = runWithWearLeveling(SchemeKind::LadderHybrid,
-                                        workload, cfg, false);
-    Outcome hybWl = runWithWearLeveling(SchemeKind::LadderHybrid,
-                                        workload, cfg, true);
+    // The four configurations are independent full-system runs; each
+    // owns its System and remapper, so they parallelize like any
+    // other sweep cell.
+    Outcome baseNo, baseWl, hybNo, hybWl;
+    unsigned jobs = cfg.jobs != 0 ? cfg.jobs
+                                  : ThreadPool::defaultJobs();
+    if (jobs <= 1) {
+        baseNo = runWithWearLeveling(SchemeKind::Baseline, workload,
+                                     cfg, false);
+        baseWl = runWithWearLeveling(SchemeKind::Baseline, workload,
+                                     cfg, true);
+        hybNo = runWithWearLeveling(SchemeKind::LadderHybrid,
+                                    workload, cfg, false);
+        hybWl = runWithWearLeveling(SchemeKind::LadderHybrid,
+                                    workload, cfg, true);
+    } else {
+        ThreadPool pool(std::min(jobs, 4u));
+        auto fBaseNo = pool.submit([&]() {
+            return runWithWearLeveling(SchemeKind::Baseline,
+                                       workload, cfg, false);
+        });
+        auto fBaseWl = pool.submit([&]() {
+            return runWithWearLeveling(SchemeKind::Baseline,
+                                       workload, cfg, true);
+        });
+        auto fHybNo = pool.submit([&]() {
+            return runWithWearLeveling(SchemeKind::LadderHybrid,
+                                       workload, cfg, false);
+        });
+        auto fHybWl = pool.submit([&]() {
+            return runWithWearLeveling(SchemeKind::LadderHybrid,
+                                       workload, cfg, true);
+        });
+        baseNo = fBaseNo.get();
+        baseWl = fBaseWl.get();
+        hybNo = fHybNo.get();
+        hybWl = fHybWl.get();
+    }
 
     std::printf("%-26s %10s %12s %14s %12s\n", "configuration", "IPC",
                 "writes", "gap moves", "unevenness");

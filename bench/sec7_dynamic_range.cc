@@ -23,17 +23,22 @@ main(int argc, char **argv)
                 "range ===\n\n");
     std::printf("%-10s %14s %14s %12s\n", "workload", "gain nominal",
                 "gain shrunk", "retained %");
+    const std::vector<SchemeKind> pair = {SchemeKind::Baseline,
+                                          SchemeKind::LadderHybrid};
+    ExperimentConfig shrunk = cfg;
+    shrunk.rangeShrink = 2.0;
+    Matrix nominal = runMatrixParallel(pair, workloads, cfg);
+    Matrix shrunkM = runMatrixParallel(pair, workloads, shrunk);
     double retainedSum = 0.0;
     for (const auto &workload : workloads) {
-        SimResult base = runOne(SchemeKind::Baseline, workload, cfg);
-        SimResult hybrid =
-            runOne(SchemeKind::LadderHybrid, workload, cfg);
-        ExperimentConfig shrunk = cfg;
-        shrunk.rangeShrink = 2.0;
-        SimResult baseS =
-            runOne(SchemeKind::Baseline, workload, shrunk);
-        SimResult hybridS =
-            runOne(SchemeKind::LadderHybrid, workload, shrunk);
+        const SimResult &base =
+            nominal.at(SchemeKind::Baseline, workload);
+        const SimResult &hybrid =
+            nominal.at(SchemeKind::LadderHybrid, workload);
+        const SimResult &baseS =
+            shrunkM.at(SchemeKind::Baseline, workload);
+        const SimResult &hybridS =
+            shrunkM.at(SchemeKind::LadderHybrid, workload);
         double gain = speedupOver(hybrid, base) - 1.0;
         double gainS = speedupOver(hybridS, baseS) - 1.0;
         double retained = gain > 0.0 ? 100.0 * gainS / gain : 0.0;
@@ -52,13 +57,12 @@ main(int argc, char **argv)
     for (unsigned granularity : {4u, 8u, 16u}) {
         ExperimentConfig sweep = cfg;
         sweep.granularity = granularity;
+        Matrix m = runMatrixParallel(pair, workloads, sweep);
         double sum = 0.0;
         for (const auto &workload : workloads) {
-            SimResult base =
-                runOne(SchemeKind::Baseline, workload, sweep);
-            SimResult hybrid =
-                runOne(SchemeKind::LadderHybrid, workload, sweep);
-            sum += speedupOver(hybrid, base);
+            sum += speedupOver(m.at(SchemeKind::LadderHybrid,
+                                    workload),
+                               m.at(SchemeKind::Baseline, workload));
         }
         std::printf("%12u %12.4f\n", granularity,
                     sum / workloads.size());

@@ -6,37 +6,96 @@
  * statistics tree. The paper's Figures 12/13/16 are sweeps of exactly
  * this run.
  *
- *   ./workload_sim [scheme=LADDER-Hybrid] [workload=mix-1]
+ * Comma-separated lists sweep the full (scheme x workload) matrix in
+ * parallel through runMatrixParallel and print an IPC table instead
+ * of the single-run details.
+ *
+ *   ./workload_sim [scheme=LADDER-Hybrid[,Baseline,...]]
+ *                  [workload=mix-1[,astar,...]]
  *                  [warmup=1500000] [measure=400000] [stats=1]
+ *                  [jobs=N]   (0 = one per hardware thread, 1 = serial)
  */
 
 #include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "common/config.hh"
 #include "sim/experiment.hh"
 
 using namespace ladder;
 
+namespace
+{
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> items;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        if (comma > pos)
+            items.push_back(csv.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return items;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     Config args;
     args.parseArgs(argc, argv);
-    std::string schemeName =
-        args.getString("scheme", "LADDER-Hybrid");
-    std::string workload = args.getString("workload", "mix-1");
+    auto schemeNames =
+        splitList(args.getString("scheme", "LADDER-Hybrid"));
+    auto workloads = splitList(args.getString("workload", "mix-1"));
 
     ExperimentConfig cfg = defaultExperimentConfig();
     cfg.warmupInstr = static_cast<std::uint64_t>(args.getInt(
         "warmup", static_cast<std::int64_t>(cfg.warmupInstr)));
     cfg.measureInstr = static_cast<std::uint64_t>(args.getInt(
         "measure", static_cast<std::int64_t>(cfg.measureInstr)));
+    cfg.jobs = static_cast<unsigned>(args.getInt("jobs", 0));
 
-    SchemeKind kind = schemeKindFromName(schemeName);
+    std::vector<SchemeKind> schemes;
+    for (const auto &name : schemeNames)
+        schemes.push_back(schemeKindFromName(name));
+
+    if (schemes.size() > 1 || workloads.size() > 1) {
+        std::printf("sweeping %zu scheme(s) x %zu workload(s) "
+                    "(%llu warmup + %llu measured instructions per "
+                    "core)...\n",
+                    schemes.size(), workloads.size(),
+                    static_cast<unsigned long long>(cfg.warmupInstr),
+                    static_cast<unsigned long long>(
+                        cfg.measureInstr));
+        Matrix matrix = runMatrixParallel(schemes, workloads, cfg);
+        std::vector<std::string> columns;
+        for (SchemeKind kind : schemes)
+            columns.push_back(schemeKindName(kind));
+        TablePrinter printer(columns);
+        std::printf("\n--- IPC (core 0) ---\n");
+        printer.printHeader();
+        for (const auto &workload : workloads) {
+            std::vector<double> row;
+            for (SchemeKind kind : schemes)
+                row.push_back(matrix.at(kind, workload).ipc);
+            printer.printRow(workload, row, 4);
+        }
+        return 0;
+    }
+
+    SchemeKind kind = schemes[0];
+    const std::string &workload = workloads[0];
     std::printf("running %s on %s (%llu warmup + %llu measured "
                 "instructions per core)...\n",
-                schemeName.c_str(), workload.c_str(),
+                schemeKindName(kind).c_str(), workload.c_str(),
                 static_cast<unsigned long long>(cfg.warmupInstr),
                 static_cast<unsigned long long>(cfg.measureInstr));
 

@@ -1,6 +1,7 @@
 #include "log.hh"
 
 #include <cstdarg>
+#include <mutex>
 #include <stdexcept>
 
 namespace ladder
@@ -35,6 +36,10 @@ logMessage(LogLevel level, const std::string &msg)
       case LogLevel::Fatal: prefix = "fatal: "; break;
       case LogLevel::Panic: prefix = "panic: "; break;
     }
+    // Serialize whole lines so messages from parallel sweep workers
+    // never interleave mid-line.
+    static std::mutex sinkMutex;
+    std::lock_guard<std::mutex> lock(sinkMutex);
     std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
     std::fflush(stderr);
 }

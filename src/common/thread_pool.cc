@@ -1,0 +1,83 @@
+#include "thread_pool.hh"
+
+#include <algorithm>
+
+namespace ladder
+{
+
+unsigned
+ThreadPool::defaultJobs()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return std::max(hw, 1u);
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultJobs();
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::post(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(job));
+    }
+    workReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allIdle_.wait(lock, [this]() {
+        return queue_.empty() && active_ == 0;
+    });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workReady_.wait(lock, [this]() {
+                return stopping_ || !queue_.empty();
+            });
+            // Drain-on-stop: only exit once the queue is empty.
+            if (queue_.empty())
+                return;
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        // A packaged_task captures any exception into its future, so
+        // job() never throws out of the worker.
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --active_;
+            if (queue_.empty() && active_ == 0)
+                allIdle_.notify_all();
+        }
+    }
+}
+
+} // namespace ladder

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -214,8 +215,14 @@ cachedTimingModel(const CrossbarParams &params, unsigned granularity,
                    s == o.s;
         }
     };
+    // Parallel sweep workers build Systems concurrently; the whole
+    // lookup-or-generate runs under one lock so a given key is only
+    // ever generated once and the returned reference (stable: the
+    // vector owns unique_ptrs) is safe to read lock-free afterwards.
+    static std::mutex cacheMutex;
     static std::vector<std::pair<Key, std::unique_ptr<TimingModel>>>
         cache;
+    std::lock_guard<std::mutex> lock(cacheMutex);
     Key key{params, granularity, rangeShrink};
     for (const auto &entry : cache) {
         if (entry.first == key)

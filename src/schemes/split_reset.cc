@@ -1,6 +1,7 @@
 #include "split_reset.hh"
 
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -19,8 +20,13 @@ namespace
 const TimingModel &
 cachedHalfModel(const CrossbarParams &params, unsigned granularity)
 {
+    // Taken before the cachedTimingModel lock (never the other way
+    // round), so concurrent SplitReset System builds cannot deadlock
+    // or double-generate.
+    static std::mutex cacheMutex;
     static std::vector<std::pair<unsigned, std::unique_ptr<TimingModel>>>
         cache;
+    std::lock_guard<std::mutex> lock(cacheMutex);
     for (const auto &entry : cache) {
         if (entry.first == granularity)
             return *entry.second;

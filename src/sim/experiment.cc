@@ -1,10 +1,16 @@
 #include "experiment.hh"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
+#include <mutex>
 
 #include "common/log.hh"
+#include "common/thread_pool.hh"
 #include "trace/workloads.hh"
 
 namespace ladder
@@ -13,16 +19,21 @@ namespace ladder
 ExperimentConfig
 defaultExperimentConfig()
 {
-    ExperimentConfig config;
-    if (const char *env = std::getenv("LADDER_BENCH_SCALE")) {
-        double scale = std::atof(env);
-        if (scale > 0.0) {
-            config.warmupInstr = static_cast<std::uint64_t>(
-                config.warmupInstr * scale);
-            config.measureInstr = static_cast<std::uint64_t>(
-                config.measureInstr * scale);
+    // Read the environment once under C++11 magic-static init so
+    // sweep workers calling this concurrently never race on getenv.
+    static const double benchScale = []() {
+        if (const char *env = std::getenv("LADDER_BENCH_SCALE")) {
+            double scale = std::atof(env);
+            if (scale > 0.0)
+                return scale;
         }
-    }
+        return 1.0;
+    }();
+    ExperimentConfig config;
+    config.warmupInstr = static_cast<std::uint64_t>(
+        config.warmupInstr * benchScale);
+    config.measureInstr = static_cast<std::uint64_t>(
+        config.measureInstr * benchScale);
     return config;
 }
 
@@ -71,6 +82,86 @@ runOne(SchemeKind scheme, const std::string &workload,
 {
     System system(makeSystemConfig(scheme, workload, config));
     return system.run(config.warmupInstr, config.measureInstr);
+}
+
+Matrix
+runMatrixParallel(const std::vector<SchemeKind> &schemes,
+                  const std::vector<std::string> &workloads,
+                  const ExperimentConfig &config)
+{
+    Matrix matrix;
+    matrix.schemes = schemes;
+    matrix.workloads = workloads;
+
+    struct Job
+    {
+        SchemeKind scheme;
+        std::string workload;
+    };
+    std::vector<Job> plan;
+    for (const auto &workload : workloads)
+        for (SchemeKind kind : schemes)
+            plan.push_back({kind, workload});
+    const std::size_t total = plan.size();
+
+    unsigned jobs = config.jobs != 0 ? config.jobs
+                                     : ThreadPool::defaultJobs();
+    if (total < jobs)
+        jobs = static_cast<unsigned>(total);
+    if (jobs == 0)
+        jobs = 1;
+
+    // Progress only on interactive terminals; keep piped/teed output
+    // free of carriage-return noise.
+    const bool interactive = isatty(fileno(stderr));
+    std::atomic<std::size_t> done{0};
+    std::mutex progressMutex;
+    auto report = [&](const Job &job) {
+        std::size_t n = ++done;
+        if (!interactive)
+            return;
+        std::lock_guard<std::mutex> lock(progressMutex);
+        std::fprintf(stderr, "\r[%zu/%zu] %-14s %-10s", n, total,
+                     schemeKindName(job.scheme).c_str(),
+                     job.workload.c_str());
+        std::fflush(stderr);
+    };
+
+    // Each slot is owned by exactly one job until the barrier below,
+    // then committed into the map in canonical (workload, scheme)
+    // order so the result is independent of completion order.
+    std::vector<SimResult> slots(total);
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < total; ++i) {
+            slots[i] = runOne(plan[i].scheme, plan[i].workload,
+                              config);
+            report(plan[i]);
+        }
+    } else {
+        ThreadPool pool(jobs);
+        std::vector<std::future<void>> futures;
+        futures.reserve(total);
+        for (std::size_t i = 0; i < total; ++i) {
+            futures.push_back(pool.submit([&, i]() {
+                slots[i] = runOne(plan[i].scheme, plan[i].workload,
+                                  config);
+                report(plan[i]);
+            }));
+        }
+        // get() rethrows the first failed run's exception, matching
+        // the serial path; every job has finished by the time the
+        // pool's futures resolve, so no slot is written afterwards.
+        for (auto &future : futures)
+            future.get();
+    }
+    if (interactive)
+        std::fprintf(stderr, "\r%60s\r", "");
+
+    for (std::size_t i = 0; i < total; ++i) {
+        matrix.results[{schemeKindName(plan[i].scheme),
+                        plan[i].workload}] = std::move(slots[i]);
+    }
+    return matrix;
 }
 
 double

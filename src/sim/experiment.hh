@@ -32,6 +32,14 @@ struct ExperimentConfig
      * small values so caches reach steady state within short runs).
      */
     double cacheScale = 1.0;
+    /**
+     * Sweep parallelism for runMatrixParallel: number of concurrent
+     * runOne jobs. 0 selects hardware_concurrency; 1 runs the sweep
+     * serially on the calling thread. Results are bit-identical for
+     * every value — each run owns its System, Rng, and Stats, so
+     * scheduling order cannot leak into the metrics.
+     */
+    unsigned jobs = 0;
 };
 
 /**
@@ -51,6 +59,36 @@ SystemConfig makeSystemConfig(SchemeKind scheme,
 /** Build, warm up, and measure one run. */
 SimResult runOne(SchemeKind scheme, const std::string &workload,
                  const ExperimentConfig &config);
+
+/** Results of a (scheme x workload) sweep. */
+struct Matrix
+{
+    std::vector<SchemeKind> schemes;
+    std::vector<std::string> workloads;
+    std::map<std::pair<std::string, std::string>, SimResult> results;
+
+    const SimResult &
+    at(SchemeKind kind, const std::string &workload) const
+    {
+        return results.at({schemeKindName(kind), workload});
+    }
+};
+
+/**
+ * Run the full (scheme x workload) sweep, scheduling each runOne as
+ * an independent job on config.jobs worker threads (0 = one per
+ * hardware thread, 1 = serial on the calling thread).
+ *
+ * Results are committed into the Matrix in canonical (workload,
+ * scheme) order once every job has finished, so the returned Matrix
+ * is bit-identical regardless of the job count or scheduling order.
+ * Progress is reported on stderr (interactive terminals only) from an
+ * atomic completion counter. The first exception thrown by any run is
+ * rethrown here after the remaining jobs drain.
+ */
+Matrix runMatrixParallel(const std::vector<SchemeKind> &schemes,
+                         const std::vector<std::string> &workloads,
+                         const ExperimentConfig &config);
 
 /**
  * Weighted speedup of @p result over @p baseline: mean of per-core

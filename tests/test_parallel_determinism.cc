@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Regression gate for the parallel sweep's determinism guarantee:
+ * runMatrixParallel must produce bit-identical SimResults regardless
+ * of the job count. A small (3 scheme x 3 workload) matrix is run at
+ * jobs=1 (the serial path) and jobs=8 (heavily oversubscribed on most
+ * machines, maximizing scheduling permutations) and every result
+ * field is compared at the bit level.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "sim/experiment.hh"
+
+namespace ladder
+{
+namespace
+{
+
+ExperimentConfig
+quickConfig(unsigned jobs)
+{
+    ExperimentConfig cfg;
+    cfg.warmupInstr = 60'000;
+    cfg.measureInstr = 40'000;
+    cfg.cacheScale = 1.0 / 16.0;
+    cfg.jobs = jobs;
+    return cfg;
+}
+
+/** Bit-level double equality: no tolerance, and NaN == NaN. */
+::testing::AssertionResult
+bitsEqual(double a, double b)
+{
+    std::uint64_t ba, bb;
+    std::memcpy(&ba, &a, sizeof(ba));
+    std::memcpy(&bb, &b, sizeof(bb));
+    if (ba == bb)
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << a << " and " << b << " differ in bits (0x" << std::hex
+           << ba << " vs 0x" << bb << ")";
+}
+
+void
+expectBitIdentical(const SimResult &a, const SimResult &b)
+{
+    ASSERT_EQ(a.coreIpc.size(), b.coreIpc.size());
+    for (std::size_t c = 0; c < a.coreIpc.size(); ++c)
+        EXPECT_TRUE(bitsEqual(a.coreIpc[c], b.coreIpc[c]))
+            << "coreIpc[" << c << "]";
+    EXPECT_TRUE(bitsEqual(a.ipc, b.ipc)) << "ipc";
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_TRUE(bitsEqual(a.elapsedNs, b.elapsedNs)) << "elapsedNs";
+    EXPECT_TRUE(bitsEqual(a.avgReadLatencyNs, b.avgReadLatencyNs))
+        << "avgReadLatencyNs";
+    EXPECT_TRUE(bitsEqual(a.avgWriteServiceNs, b.avgWriteServiceNs))
+        << "avgWriteServiceNs";
+    EXPECT_TRUE(bitsEqual(a.avgWriteTwrNs, b.avgWriteTwrNs))
+        << "avgWriteTwrNs";
+    EXPECT_EQ(a.dataReads, b.dataReads);
+    EXPECT_EQ(a.metadataReads, b.metadataReads);
+    EXPECT_EQ(a.smbReads, b.smbReads);
+    EXPECT_EQ(a.dataWrites, b.dataWrites);
+    EXPECT_EQ(a.metadataWrites, b.metadataWrites);
+    EXPECT_TRUE(bitsEqual(a.readEnergyPj, b.readEnergyPj))
+        << "readEnergyPj";
+    EXPECT_TRUE(bitsEqual(a.writeEnergyPj, b.writeEnergyPj))
+        << "writeEnergyPj";
+    EXPECT_TRUE(bitsEqual(a.fnwFlips, b.fnwFlips)) << "fnwFlips";
+    EXPECT_TRUE(bitsEqual(a.fnwCancelled, b.fnwCancelled))
+        << "fnwCancelled";
+    EXPECT_TRUE(
+        bitsEqual(a.estCounterDiffMean, b.estCounterDiffMean))
+        << "estCounterDiffMean";
+    EXPECT_TRUE(bitsEqual(a.estimatedCwMean, b.estimatedCwMean))
+        << "estimatedCwMean";
+    EXPECT_TRUE(bitsEqual(a.accurateCwMean, b.accurateCwMean))
+        << "accurateCwMean";
+    EXPECT_TRUE(bitsEqual(a.spillInsertions, b.spillInsertions))
+        << "spillInsertions";
+}
+
+TEST(ParallelDeterminism, SerialAndParallelSweepsAreBitIdentical)
+{
+    // SplitReset exercises the memoized half-model cache and
+    // LadderHybrid the estimation path — the components with shared
+    // state that parallelism could have perturbed.
+    const std::vector<SchemeKind> schemes = {
+        SchemeKind::Baseline, SchemeKind::SplitReset,
+        SchemeKind::LadderHybrid};
+    const std::vector<std::string> workloads = {"astar", "lbm",
+                                                "mcf"};
+
+    Matrix serial =
+        runMatrixParallel(schemes, workloads, quickConfig(1));
+    Matrix parallel =
+        runMatrixParallel(schemes, workloads, quickConfig(8));
+
+    ASSERT_EQ(serial.results.size(), workloads.size() * schemes.size());
+    ASSERT_EQ(serial.results.size(), parallel.results.size());
+    for (const auto &workload : workloads) {
+        for (SchemeKind kind : schemes) {
+            SCOPED_TRACE(schemeKindName(kind) + " / " + workload);
+            expectBitIdentical(serial.at(kind, workload),
+                               parallel.at(kind, workload));
+        }
+    }
+}
+
+TEST(ParallelDeterminism, RepeatedParallelSweepsAreBitIdentical)
+{
+    // Two parallel runs of the same matrix agree with each other,
+    // whatever the scheduler did in between.
+    const std::vector<SchemeKind> schemes = {SchemeKind::LadderEst};
+    const std::vector<std::string> workloads = {"libq", "cannl"};
+    Matrix first =
+        runMatrixParallel(schemes, workloads, quickConfig(4));
+    Matrix second =
+        runMatrixParallel(schemes, workloads, quickConfig(4));
+    for (const auto &workload : workloads) {
+        SCOPED_TRACE(workload);
+        expectBitIdentical(first.at(SchemeKind::LadderEst, workload),
+                           second.at(SchemeKind::LadderEst,
+                                     workload));
+    }
+}
+
+} // namespace
+} // namespace ladder

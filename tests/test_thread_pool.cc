@@ -1,0 +1,110 @@
+/** @file Tests for the sweep thread pool. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+namespace ladder
+{
+namespace
+{
+
+TEST(ThreadPool, SubmitAndWaitRunsEveryJob)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    std::atomic<int> count{0};
+    constexpr int jobs = 200;
+    for (int i = 0; i < jobs; ++i)
+        pool.submit([&count]() { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), jobs);
+}
+
+TEST(ThreadPool, FuturesCarryReturnValues)
+{
+    ThreadPool pool(3);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 50; ++i)
+        futures.push_back(pool.submit([i]() { return i * i; }));
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures)
+{
+    ThreadPool pool(2);
+    auto ok = pool.submit([]() { return 7; });
+    auto bad = pool.submit([]() -> int {
+        throw std::runtime_error("job failed");
+    });
+    EXPECT_EQ(ok.get(), 7);
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // The pool survives a throwing job and keeps executing.
+    auto after = pool.submit([]() { return 11; });
+    EXPECT_EQ(after.get(), 11);
+}
+
+TEST(ThreadPool, DestructionDrainsQueuedWork)
+{
+    std::atomic<int> count{0};
+    constexpr int jobs = 64;
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < jobs; ++i) {
+            pool.submit([&count]() {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+                ++count;
+            });
+        }
+        // Destructor runs with most jobs still queued.
+    }
+    EXPECT_EQ(count.load(), jobs);
+}
+
+TEST(ThreadPool, SingleWorkerMatchesSerialExecution)
+{
+    // With one worker and FIFO dispatch, execution order is exactly
+    // submission order — the jobs=1 path is serially equivalent.
+    ThreadPool pool(1);
+    std::vector<int> order;
+    constexpr int jobs = 100;
+    for (int i = 0; i < jobs; ++i)
+        pool.submit([&order, i]() { order.push_back(i); });
+    pool.wait();
+    ASSERT_EQ(order.size(), static_cast<std::size_t>(jobs));
+    for (int i = 0; i < jobs; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, WaitIsReusableAcrossBatches)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int batch = 0; batch < 3; ++batch) {
+        for (int i = 0; i < 20; ++i)
+            pool.submit([&count]() { ++count; });
+        pool.wait();
+        EXPECT_EQ(count.load(), 20 * (batch + 1));
+    }
+}
+
+TEST(ThreadPool, ZeroThreadsSelectsHardwareDefault)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), ThreadPool::defaultJobs());
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+    auto f = pool.submit([]() { return 42; });
+    EXPECT_EQ(f.get(), 42);
+}
+
+} // namespace
+} // namespace ladder
