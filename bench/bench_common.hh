@@ -11,6 +11,11 @@
  *   warmup=<instructions>     functional warmup per core
  *   jobs=<N>                  parallel sweep jobs (0 = one per
  *                             hardware thread, 1 = serial)
+ *   stats-json=<dir>          write per-run stats.json + sweep.json
+ *   epoch-cycles=<N>          core cycles per stat snapshot (0 = off)
+ *   trace-out=<dir>           write per-run write/read event traces
+ *   trace-format=csv|bin      trace encoding (default csv)
+ *   volatile-manifest=1       include wall clock + jobs in manifests
  * and honours LADDER_BENCH_SCALE (multiplies both windows).
  */
 
@@ -44,6 +49,14 @@ parseBenchArgs(int argc, char **argv, ExperimentConfig &cfg)
         config.getInt("seed", static_cast<std::int64_t>(cfg.seed)));
     cfg.jobs = static_cast<unsigned>(config.getInt(
         "jobs", static_cast<std::int64_t>(cfg.jobs)));
+    cfg.statsJsonDir = config.getString("stats-json", cfg.statsJsonDir);
+    cfg.traceOutDir = config.getString("trace-out", cfg.traceOutDir);
+    cfg.traceFormat =
+        config.getString("trace-format", cfg.traceFormat);
+    cfg.epochCycles = static_cast<std::uint64_t>(config.getInt(
+        "epoch-cycles", static_cast<std::int64_t>(cfg.epochCycles)));
+    cfg.volatileManifest =
+        config.getBool("volatile-manifest", cfg.volatileManifest);
     std::string workloads = config.getString("workloads", "");
     std::vector<std::string> names;
     if (workloads.empty())

@@ -14,6 +14,14 @@
  *                  [workload=mix-1[,astar,...]]
  *                  [warmup=1500000] [measure=400000] [stats=1]
  *                  [jobs=N]   (0 = one per hardware thread, 1 = serial)
+ *                  [stats-json=<dir>] [epoch-cycles=<N>]
+ *                  [trace-out=<dir>] [trace-format=csv|bin]
+ *                  [volatile-manifest=1]
+ *
+ * stats-json= writes one stats.json per run (and sweep.json for
+ * sweeps); trace-out= writes per-run measured-window event traces;
+ * epoch-cycles= samples the controller stats every N core cycles into
+ * the stats.json epoch series. See EXPERIMENTS.md for the schema.
  */
 
 #include <cstdio>
@@ -23,6 +31,7 @@
 
 #include "common/config.hh"
 #include "sim/experiment.hh"
+#include "sim/stats_export.hh"
 
 using namespace ladder;
 
@@ -62,6 +71,12 @@ main(int argc, char **argv)
     cfg.measureInstr = static_cast<std::uint64_t>(args.getInt(
         "measure", static_cast<std::int64_t>(cfg.measureInstr)));
     cfg.jobs = static_cast<unsigned>(args.getInt("jobs", 0));
+    cfg.statsJsonDir = args.getString("stats-json", "");
+    cfg.traceOutDir = args.getString("trace-out", "");
+    cfg.traceFormat = args.getString("trace-format", cfg.traceFormat);
+    cfg.epochCycles =
+        static_cast<std::uint64_t>(args.getInt("epoch-cycles", 0));
+    cfg.volatileManifest = args.getBool("volatile-manifest", false);
 
     std::vector<SchemeKind> schemes;
     for (const auto &name : schemeNames)
@@ -100,7 +115,13 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(cfg.measureInstr));
 
     System system(makeSystemConfig(kind, workload, cfg));
+    WriteTraceSink trace;
+    const bool tracing = !cfg.traceOutDir.empty();
+    if (tracing)
+        system.attachTraceSink(&trace);
     SimResult r = system.run(cfg.warmupInstr, cfg.measureInstr);
+    exportRun(cfg, kind, workload, system, r,
+              tracing ? &trace : nullptr);
 
     std::printf("\n--- headline metrics ---\n");
     for (std::size_t c = 0; c < r.coreIpc.size(); ++c)

@@ -177,8 +177,10 @@ CrossbarMna::solve(const std::vector<CellState> &pattern,
         SparseMatrix mat(total, std::move(trip));
         CgResult cg = conjugateGradient(mat, rhs, x, 1e-11);
         if (!cg.converged) {
-            warn("crossbar MNA: CG stalled at residual %g",
-                 cg.residualNorm);
+            // Every Picard iteration of every bucket would repeat
+            // this; one report per process is plenty.
+            warn_once("crossbar MNA: CG stalled at residual %g",
+                      cg.residualNorm);
         }
 
         double maxDelta = 0.0;
@@ -193,6 +195,9 @@ CrossbarMna::solve(const std::vector<CellState> &pattern,
             break;
         }
     }
+
+    SolverInstrumentation::instance().notePicard(
+        sol.picardIterations, sol.converged);
 
     sol.wlVolts.assign(volts.begin(), volts.begin() + n * m);
     sol.blVolts.assign(volts.begin() + n * m, volts.end());

@@ -11,6 +11,8 @@
 #define LADDER_CIRCUIT_SOLVERS_HH
 
 #include <cstddef>
+#include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "sparse.hh"
@@ -24,6 +26,41 @@ struct CgResult
     bool converged = false;
     std::size_t iterations = 0;
     double residualNorm = 0.0;
+};
+
+/**
+ * Process-wide solver-effort counters snapshotted into run manifests
+ * and stats.json. Only order-independent aggregates are kept (integer
+ * sums and maxima), so totals are bit-identical however the parallel
+ * sweep interleaves the table builds that drive the solves.
+ */
+struct SolverCounters
+{
+    std::uint64_t cgSolves = 0;
+    std::uint64_t cgIterations = 0;
+    std::uint64_t cgStalls = 0;      //!< solves that hit the cap
+    double cgMaxResidual = 0.0;      //!< worst relative residual left
+    std::uint64_t picardSolves = 0;  //!< nonlinear outer solves (MNA
+                                     //!< Picard + fast-model loops)
+    std::uint64_t picardIterations = 0;
+    std::uint64_t picardStalls = 0;
+};
+
+/** Thread-safe accumulator behind the counters above. */
+class SolverInstrumentation
+{
+  public:
+    static SolverInstrumentation &instance();
+
+    void noteCg(const CgResult &result, double relativeResidual);
+    void notePicard(std::size_t iterations, bool converged);
+
+    SolverCounters snapshot() const;
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    SolverCounters counters_;
 };
 
 /**

@@ -1,0 +1,395 @@
+#include "json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "log.hh"
+
+namespace ladder
+{
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(static_cast<char>(c));
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+void
+JsonWriter::newline()
+{
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::prepareValue()
+{
+    if (stack_.empty())
+        return;
+    Frame &top = stack_.back();
+    if (top.isObject) {
+        ladder_assert(top.keyPending,
+                      "json: value inside an object without a key");
+        top.keyPending = false;
+        return;
+    }
+    if (top.hasEntries)
+        os_ << ',';
+    top.hasEntries = true;
+    newline();
+}
+
+void
+JsonWriter::key(const std::string &k)
+{
+    ladder_assert(!stack_.empty() && stack_.back().isObject,
+                  "json: key() outside an object");
+    Frame &top = stack_.back();
+    ladder_assert(!top.keyPending, "json: two keys in a row");
+    if (top.hasEntries)
+        os_ << ',';
+    top.hasEntries = true;
+    newline();
+    os_ << escape(k) << ": ";
+    top.keyPending = true;
+}
+
+void
+JsonWriter::beginObject()
+{
+    prepareValue();
+    os_ << '{';
+    stack_.push_back({true, false, false});
+}
+
+void
+JsonWriter::endObject()
+{
+    ladder_assert(!stack_.empty() && stack_.back().isObject,
+                  "json: endObject() without beginObject()");
+    ladder_assert(!stack_.back().keyPending,
+                  "json: endObject() with a dangling key");
+    bool hadEntries = stack_.back().hasEntries;
+    stack_.pop_back();
+    if (hadEntries)
+        newline();
+    os_ << '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    prepareValue();
+    os_ << '[';
+    stack_.push_back({false, false, false});
+}
+
+void
+JsonWriter::endArray()
+{
+    ladder_assert(!stack_.empty() && !stack_.back().isObject,
+                  "json: endArray() without beginArray()");
+    bool hadEntries = stack_.back().hasEntries;
+    stack_.pop_back();
+    if (hadEntries)
+        newline();
+    os_ << ']';
+}
+
+void
+JsonWriter::value(double v)
+{
+    prepareValue();
+    if (!std::isfinite(v)) {
+        // JSON has no NaN/Inf; null is the conventional stand-in.
+        os_ << "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os_ << buf;
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    prepareValue();
+    os_ << v;
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    prepareValue();
+    os_ << v;
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    prepareValue();
+    os_ << escape(v);
+}
+
+void
+JsonWriter::value(bool v)
+{
+    prepareValue();
+    os_ << (v ? "true" : "false");
+}
+
+void
+JsonWriter::valueNull()
+{
+    prepareValue();
+    os_ << "null";
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+const JsonValue &
+JsonValue::at(const std::string &k) const
+{
+    ladder_assert(type == Type::Object, "json: at() on a non-object");
+    auto it = object.find(k);
+    ladder_assert(it != object.end(), "json: missing key '%s'",
+                  k.c_str());
+    return it->second;
+}
+
+bool
+JsonValue::has(const std::string &k) const
+{
+    return type == Type::Object && object.count(k) > 0;
+}
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = parseValue();
+        skipSpace();
+        ladder_assert(pos_ == text_.size(),
+                      "json: trailing characters at offset %zu", pos_);
+        return v;
+    }
+
+  private:
+    const std::string &text_;
+    std::size_t pos_ = 0;
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        ladder_assert(pos_ < text_.size(), "json: unexpected end");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        ladder_assert(peek() == c,
+                      "json: expected '%c' at offset %zu, got '%c'", c,
+                      pos_, text_[pos_]);
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        std::size_t len = std::char_traits<char>::length(lit);
+        if (text_.compare(pos_, len, lit) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            ladder_assert(pos_ < text_.size(),
+                          "json: unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                break;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            ladder_assert(pos_ < text_.size(),
+                          "json: unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'u': {
+                ladder_assert(pos_ + 4 <= text_.size(),
+                              "json: truncated \\u escape");
+                unsigned code = static_cast<unsigned>(
+                    std::strtoul(text_.substr(pos_, 4).c_str(),
+                                 nullptr, 16));
+                pos_ += 4;
+                // Only the BMP subset our writer emits (control
+                // chars); encode as UTF-8 for completeness.
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(
+                        static_cast<char>(0xC0 | (code >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                } else {
+                    out.push_back(
+                        static_cast<char>(0xE0 | (code >> 12)));
+                    out.push_back(static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3F)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+              }
+              default:
+                panic("json: bad escape '\\%c'", e);
+            }
+        }
+        return out;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        char c = peek();
+        JsonValue v;
+        if (c == '{') {
+            ++pos_;
+            v.type = JsonValue::Type::Object;
+            if (peek() == '}') {
+                ++pos_;
+                return v;
+            }
+            while (true) {
+                std::string k = parseString();
+                expect(':');
+                v.object.emplace(std::move(k), parseValue());
+                char next = peek();
+                ++pos_;
+                if (next == '}')
+                    break;
+                ladder_assert(next == ',',
+                              "json: expected ',' or '}' in object");
+            }
+            return v;
+        }
+        if (c == '[') {
+            ++pos_;
+            v.type = JsonValue::Type::Array;
+            if (peek() == ']') {
+                ++pos_;
+                return v;
+            }
+            while (true) {
+                v.array.push_back(parseValue());
+                char next = peek();
+                ++pos_;
+                if (next == ']')
+                    break;
+                ladder_assert(next == ',',
+                              "json: expected ',' or ']' in array");
+            }
+            return v;
+        }
+        if (c == '"') {
+            v.type = JsonValue::Type::String;
+            v.string = parseString();
+            return v;
+        }
+        skipSpace();
+        if (consumeLiteral("true")) {
+            v.type = JsonValue::Type::Bool;
+            v.boolean = true;
+            return v;
+        }
+        if (consumeLiteral("false")) {
+            v.type = JsonValue::Type::Bool;
+            v.boolean = false;
+            return v;
+        }
+        if (consumeLiteral("null"))
+            return v;
+        // Number.
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        double num = std::strtod(start, &end);
+        ladder_assert(end != start, "json: bad token at offset %zu",
+                      pos_);
+        pos_ += static_cast<std::size_t>(end - start);
+        v.type = JsonValue::Type::Number;
+        v.number = num;
+        return v;
+    }
+};
+
+} // anonymous namespace
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace ladder

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Minimal JSON support for the observability layer: a streaming writer
+ * with deterministic number formatting (so identical runs emit
+ * byte-identical files), and a small recursive-descent parser used by
+ * the round-trip tests and any tooling that wants to read stats back.
+ *
+ * No external dependency: the simulator's JSON needs are a strict,
+ * well-formed subset (objects, arrays, strings, finite numbers, bools,
+ * null), so ~300 lines beat vendoring a header-only library.
+ */
+
+#ifndef LADDER_COMMON_JSON_HH
+#define LADDER_COMMON_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ladder
+{
+
+/**
+ * Streaming JSON writer. Callers drive an explicit object/array stack:
+ *
+ *   JsonWriter w(os);
+ *   w.beginObject();
+ *   w.key("ipc"); w.value(1.25);
+ *   w.key("cores"); w.beginArray(); w.value(0.9); w.endArray();
+ *   w.endObject();
+ *
+ * Output is pretty-printed with two-space indentation. Doubles are
+ * formatted with %.17g (round-trip exact, deterministic for a given
+ * libc); NaN and infinities — which JSON cannot represent — become
+ * null. The writer panics on misuse (value without key inside an
+ * object, unbalanced end calls), so malformed output cannot be
+ * produced silently.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit the key for the next value (objects only). */
+    void key(const std::string &k);
+
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+    void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+    void value(const std::string &v);
+    void value(const char *v) { value(std::string(v)); }
+    void value(bool v);
+    void valueNull();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    field(const std::string &k, const T &v)
+    {
+        key(k);
+        value(v);
+    }
+
+    /** Whether every beginObject/beginArray has been closed. */
+    bool balanced() const { return stack_.empty(); }
+
+    /** Escape a string as a JSON string literal (with quotes). */
+    static std::string escape(const std::string &s);
+
+  private:
+    struct Frame
+    {
+        bool isObject = false;
+        bool hasEntries = false;
+        bool keyPending = false;
+    };
+
+    std::ostream &os_;
+    std::vector<Frame> stack_;
+
+    void prepareValue();
+    void newline();
+};
+
+/** Parsed JSON document node (test/tooling side). */
+struct JsonValue
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool isNull() const { return type == Type::Null; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+
+    /** Object member access; panics when absent or not an object. */
+    const JsonValue &at(const std::string &k) const;
+    /** Whether an object member exists. */
+    bool has(const std::string &k) const;
+};
+
+/**
+ * Parse a complete JSON document. Panics (via ladder_assert) on
+ * malformed input — the parser exists to check our own writer and read
+ * back our own files, not to survive hostile data.
+ */
+JsonValue parseJson(const std::string &text);
+
+} // namespace ladder
+
+#endif // LADDER_COMMON_JSON_HH

@@ -26,11 +26,89 @@ strPrintf(const char *fmt, ...)
     return out;
 }
 
+namespace
+{
+
+std::mutex &
+sinkMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+LogSinkFn &
+sinkOverride()
+{
+    static LogSinkFn sink;
+    return sink;
+}
+
+std::atomic<LogLevel> &
+thresholdOverride()
+{
+    // Sentinel Panic+1 is impossible as a threshold: means "unset".
+    static std::atomic<LogLevel> t{static_cast<LogLevel>(
+        static_cast<int>(LogLevel::Panic) + 1)};
+    return t;
+}
+
+LogLevel
+envThreshold()
+{
+    static const LogLevel level = []() {
+        const char *env = std::getenv("LADDER_LOG");
+        if (!env)
+            return LogLevel::Info;
+        std::string v(env);
+        if (v == "debug")
+            return LogLevel::Debug;
+        if (v == "info")
+            return LogLevel::Info;
+        if (v == "warn")
+            return LogLevel::Warn;
+        std::fprintf(stderr,
+                     "warn: LADDER_LOG='%s' not one of "
+                     "debug|info|warn; defaulting to info\n",
+                     env);
+        return LogLevel::Info;
+    }();
+    return level;
+}
+
+} // anonymous namespace
+
+LogLevel
+logThreshold()
+{
+    LogLevel override = thresholdOverride().load();
+    if (static_cast<int>(override) <=
+        static_cast<int>(LogLevel::Panic))
+        return override;
+    return envThreshold();
+}
+
+void
+setLogThreshold(LogLevel level)
+{
+    thresholdOverride().store(level);
+}
+
+void
+setLogSink(LogSinkFn sink)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    sinkOverride() = std::move(sink);
+}
+
 void
 logMessage(LogLevel level, const std::string &msg)
 {
+    // Fatal/panic always pass; everything else honours the threshold.
+    if (level < LogLevel::Fatal && level < logThreshold())
+        return;
     const char *prefix = "";
     switch (level) {
+      case LogLevel::Debug: prefix = "debug: "; break;
       case LogLevel::Info: prefix = "info: "; break;
       case LogLevel::Warn: prefix = "warn: "; break;
       case LogLevel::Fatal: prefix = "fatal: "; break;
@@ -38,8 +116,11 @@ logMessage(LogLevel level, const std::string &msg)
     }
     // Serialize whole lines so messages from parallel sweep workers
     // never interleave mid-line.
-    static std::mutex sinkMutex;
-    std::lock_guard<std::mutex> lock(sinkMutex);
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    if (sinkOverride()) {
+        sinkOverride()(level, msg);
+        return;
+    }
     std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
     std::fflush(stderr);
 }

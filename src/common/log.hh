@@ -5,29 +5,59 @@
  * panic()  - an internal invariant was violated (a simulator bug); aborts.
  * fatal()  - the user asked for something unsupported/inconsistent; exits.
  * warn()   - something is suspicious but simulation can continue.
+ * warn_once() - warn, but only the first time this call site fires
+ *               (parallel sweeps would otherwise repeat identical
+ *               warnings from every worker).
  * inform() - a plain status message.
+ * debugf() - developer chatter, hidden unless LADDER_LOG=debug.
+ *
+ * The LADDER_LOG environment variable (debug|info|warn) sets the
+ * minimum severity that reaches the sink; the default is info.
+ * Fatal/panic messages always pass.
  */
 
 #ifndef LADDER_COMMON_LOG_HH
 #define LADDER_COMMON_LOG_HH
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 
 namespace ladder
 {
 
-/** Severity levels for the message sink. */
-enum class LogLevel { Info, Warn, Fatal, Panic };
+/** Severity levels for the message sink (ascending order). */
+enum class LogLevel { Debug, Info, Warn, Fatal, Panic };
 
 /**
- * Emit a formatted message to stderr with a severity prefix.
+ * Emit a formatted message with a severity prefix. Messages below the
+ * current threshold (see logThreshold) are dropped; everything else
+ * goes to stderr, or to the override sink installed by setLogSink.
  *
  * @param level Message severity.
  * @param msg Pre-formatted message body.
  */
 void logMessage(LogLevel level, const std::string &msg);
+
+/**
+ * The active severity threshold: LADDER_LOG=debug|info|warn at first
+ * use, overridable at runtime via setLogThreshold (tests, tools).
+ */
+LogLevel logThreshold();
+
+/** Override the severity threshold (wins over LADDER_LOG). */
+void setLogThreshold(LogLevel level);
+
+/**
+ * Redirect log output (post-filtering) to @p sink instead of stderr;
+ * pass nullptr to restore stderr. Used by tests to assert on emitted
+ * messages. The sink is called with the sink mutex held, so it must
+ * not log.
+ */
+using LogSinkFn = std::function<void(LogLevel, const std::string &)>;
+void setLogSink(LogSinkFn sink);
 
 /** printf-style formatting into a std::string. */
 std::string strPrintf(const char *fmt, ...)
@@ -53,8 +83,29 @@ std::string strPrintf(const char *fmt, ...)
     ::ladder::logMessage(::ladder::LogLevel::Warn, \
                          ::ladder::strPrintf(__VA_ARGS__))
 
+/**
+ * Rate-limited warn: each call site fires at most once per process,
+ * however many workers or iterations hit it. The atomic guard makes
+ * the "first" race benign under parallel sweeps.
+ */
+#define warn_once(...) \
+    do { \
+        static std::atomic<bool> _ladder_warned_once{false}; \
+        if (!_ladder_warned_once.exchange( \
+                true, std::memory_order_relaxed)) { \
+            ::ladder::logMessage( \
+                ::ladder::LogLevel::Warn, \
+                ::ladder::strPrintf(__VA_ARGS__) + \
+                    " (further identical warnings suppressed)"); \
+        } \
+    } while (0)
+
 #define inform(...) \
     ::ladder::logMessage(::ladder::LogLevel::Info, \
+                         ::ladder::strPrintf(__VA_ARGS__))
+
+#define debugf(...) \
+    ::ladder::logMessage(::ladder::LogLevel::Debug, \
                          ::ladder::strPrintf(__VA_ARGS__))
 
 /** Assert that must hold even in release builds; reports as a panic. */

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <iomanip>
+#include <limits>
 
+#include "json.hh"
 #include "log.hh"
 
 namespace ladder
@@ -11,13 +13,11 @@ namespace ladder
 void
 StatAverage::sample(double v)
 {
-    if (count_ == 0) {
-        min_ = v;
-        max_ = v;
-    } else {
-        min_ = std::min(min_, v);
-        max_ = std::max(max_, v);
-    }
+    // min_/max_ start at +/-infinity, so the first sample initializes
+    // both regardless of its sign (all-negative sets regressed when
+    // these were seeded with 0.0).
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
     sum_ += v;
     ++count_;
 }
@@ -26,8 +26,8 @@ void
 StatAverage::reset()
 {
     sum_ = 0.0;
-    min_ = 0.0;
-    max_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
     count_ = 0;
 }
 
@@ -104,6 +104,13 @@ StatGroup::regAverage(const std::string &name, StatAverage *stat,
 }
 
 void
+StatGroup::regHistogram(const std::string &name, StatHistogram *stat,
+                        const std::string &desc)
+{
+    histograms_.push_back({name, stat, desc});
+}
+
+void
 StatGroup::addChild(StatGroup *child)
 {
     children_.push_back(child);
@@ -127,8 +134,98 @@ StatGroup::dump(std::ostream &os) const
             os << "  # " << entry.desc;
         os << '\n';
     }
+    for (const auto &entry : histograms_) {
+        const StatHistogram &h = *entry.stat;
+        std::string base = name_ + "." + entry.name;
+        os << std::left << std::setw(48) << (base + ".samples")
+           << std::right << std::setw(16) << h.totalSamples();
+        if (!entry.desc.empty())
+            os << "  # " << entry.desc;
+        os << '\n';
+        os << std::left << std::setw(48) << (base + ".mean")
+           << std::right << std::setw(16) << h.mean() << '\n';
+        os << std::left << std::setw(48) << (base + ".underflow")
+           << std::right << std::setw(16) << h.underflow() << '\n';
+        os << std::left << std::setw(48) << (base + ".overflow")
+           << std::right << std::setw(16) << h.overflow() << '\n';
+        os << std::left << std::setw(48) << (base + ".buckets")
+           << " |";
+        for (unsigned i = 0; i < h.buckets(); ++i)
+            os << ' ' << h.bucketCount(i);
+        os << '\n';
+    }
     for (const auto *child : children_)
         child->dump(os);
+}
+
+void
+StatGroup::dumpJson(JsonWriter &json) const
+{
+    json.beginObject();
+    json.field("name", name_);
+    json.key("scalars");
+    json.beginObject();
+    for (const auto &entry : scalars_)
+        json.field(entry.name, entry.stat->value());
+    json.endObject();
+    json.key("averages");
+    json.beginObject();
+    for (const auto &entry : averages_) {
+        const StatAverage &a = *entry.stat;
+        json.key(entry.name);
+        json.beginObject();
+        json.field("mean", a.mean());
+        json.field("min", a.min());
+        json.field("max", a.max());
+        json.field("sum", a.sum());
+        json.field("count", a.count());
+        json.endObject();
+    }
+    json.endObject();
+    json.key("histograms");
+    json.beginObject();
+    for (const auto &entry : histograms_) {
+        const StatHistogram &h = *entry.stat;
+        json.key(entry.name);
+        json.beginObject();
+        json.field("lo", h.lo());
+        json.field("hi", h.hi());
+        json.field("bucket_width",
+                   h.buckets() ? (h.hi() - h.lo()) / h.buckets()
+                               : 0.0);
+        json.field("samples", h.totalSamples());
+        json.field("mean", h.mean());
+        json.field("underflow", h.underflow());
+        json.field("overflow", h.overflow());
+        json.key("counts");
+        json.beginArray();
+        for (unsigned i = 0; i < h.buckets(); ++i)
+            json.value(h.bucketCount(i));
+        json.endArray();
+        json.endObject();
+    }
+    json.endObject();
+    json.key("children");
+    json.beginArray();
+    for (const auto *child : children_)
+        child->dumpJson(json);
+    json.endArray();
+    json.endObject();
+}
+
+void
+StatGroup::visit(
+    const std::function<void(const std::string &, double)> &fn) const
+{
+    for (const auto &entry : scalars_)
+        fn(name_ + "." + entry.name, entry.stat->value());
+    for (const auto &entry : averages_) {
+        fn(name_ + "." + entry.name + ".sum", entry.stat->sum());
+        fn(name_ + "." + entry.name + ".count",
+           static_cast<double>(entry.stat->count()));
+    }
+    for (const auto *child : children_)
+        child->visit(fn);
 }
 
 void
@@ -137,6 +234,8 @@ StatGroup::resetAll()
     for (auto &entry : scalars_)
         entry.stat->reset();
     for (auto &entry : averages_)
+        entry.stat->reset();
+    for (auto &entry : histograms_)
         entry.stat->reset();
     for (auto *child : children_)
         child->resetAll();

@@ -1,13 +1,17 @@
 /**
  * @file
  * A small gem5-flavoured statistics package. Components register named
- * statistics into a StatGroup; runners dump them as aligned text.
+ * statistics into a StatGroup; runners dump them as aligned text or —
+ * for machine consumption — as JSON (dumpJson), and can flatten every
+ * leaf to (name, value) pairs for epoch time-series capture (visit).
  */
 
 #ifndef LADDER_COMMON_STATS_HH
 #define LADDER_COMMON_STATS_HH
 
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <map>
 #include <ostream>
 #include <string>
@@ -15,6 +19,8 @@
 
 namespace ladder
 {
+
+class JsonWriter;
 
 /** A monotonically accumulating scalar statistic. */
 class StatScalar
@@ -48,8 +54,11 @@ class StatAverage
 
   private:
     double sum_ = 0.0;
-    double min_ = 0.0;
-    double max_ = 0.0;
+    // Sentinel-initialized so the first sample always wins the
+    // comparison, whatever its sign (an earlier version seeded these
+    // with 0.0, which broke min() for all-negative sample sets).
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
     std::uint64_t count_ = 0;
 };
 
@@ -70,6 +79,8 @@ class StatHistogram
     }
     std::uint64_t bucketCount(unsigned i) const { return counts_.at(i); }
     double bucketLo(unsigned i) const;
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
     std::uint64_t underflow() const { return underflow_; }
     std::uint64_t overflow() const { return overflow_; }
     std::uint64_t totalSamples() const { return total_; }
@@ -99,10 +110,31 @@ class StatGroup
                    const std::string &desc = "");
     void regAverage(const std::string &name, StatAverage *stat,
                     const std::string &desc = "");
+    void regHistogram(const std::string &name, StatHistogram *stat,
+                      const std::string &desc = "");
     void addChild(StatGroup *child);
 
     /** Dump all registered stats (and children) as aligned text. */
     void dump(std::ostream &os) const;
+
+    /**
+     * Dump this group (and children, recursively) as one JSON object:
+     * scalars as plain numbers, averages as {mean,min,max,sum,count},
+     * histograms as bucket arrays with their bounds. The writer must
+     * be positioned where a value is expected (after key()).
+     */
+    void dumpJson(JsonWriter &json) const;
+
+    /**
+     * Visit every scalar-valued leaf as ("group.stat", value) pairs:
+     * scalars report their value, averages their ".sum" and ".count"
+     * (so consumers can difference epochs into rates and means).
+     * Histogram buckets are intentionally skipped — they would bloat
+     * an epoch series; read them from the final dumpJson instead.
+     * Children are visited in registration order.
+     */
+    void visit(const std::function<void(const std::string &, double)>
+                   &fn) const;
 
     /** Reset every registered stat (children included). */
     void resetAll();
@@ -122,10 +154,17 @@ class StatGroup
         StatAverage *stat;
         std::string desc;
     };
+    struct HistogramEntry
+    {
+        std::string name;
+        StatHistogram *stat;
+        std::string desc;
+    };
 
     std::string name_;
     std::vector<ScalarEntry> scalars_;
     std::vector<AverageEntry> averages_;
+    std::vector<HistogramEntry> histograms_;
     std::vector<StatGroup *> children_;
 };
 

@@ -25,6 +25,12 @@ MemoryController::MemoryController(EventQueue &events,
 {
     ladder_assert(scheme_ != nullptr, "controller needs a scheme");
     ladder_assert(cfg_.subarraysPerBank > 0, "need >= 1 subarray");
+    // Histogram envelopes: writes span tRCD + the paper's 29-658 ns
+    // tWR range; reads add queueing on top of ~32 ns of service, so
+    // they get a wider range. Out-of-range samples land in the
+    // overflow bucket rather than being lost.
+    readLatencyHistNs.init(0.0, 2000.0, 50);
+    writeServiceHistNs.init(0.0, 700.0, 35);
     bankBusyUntil_.assign(
         static_cast<std::size_t>(geo_.ranksPerChannel) *
             geo_.banksPerRank * cfg_.subarraysPerBank,
@@ -59,6 +65,10 @@ MemoryController::regStats(StatGroup &group)
                      "data write tWR only");
     group.regAverage("write_queue_ns", &writeQueueTimeNs,
                      "data write queueing time");
+    group.regHistogram("read_latency_hist_ns", &readLatencyHistNs,
+                       "demand read latency distribution");
+    group.regHistogram("write_service_hist_ns", &writeServiceHistNs,
+                       "data write service time distribution");
     group.regScalar("read_energy_pj", &readEnergyPj, "");
     group.regScalar("write_energy_pj", &writeEnergyPj, "");
     group.regScalar("data_write_energy_pj", &dataWriteEnergyPj, "");
@@ -157,6 +167,7 @@ MemoryController::enqueueRead(Addr lineAddr, ReadCallback callback)
             Tick enq = events_.now();
             events_.schedule(when, [this, callback, data, when, enq]() {
                 readLatencyNs.sample(ticksToNs(when - enq));
+                readLatencyHistNs.sample(ticksToNs(when - enq));
                 callback(data, when);
             });
             return;
@@ -169,6 +180,7 @@ MemoryController::enqueueRead(Addr lineAddr, ReadCallback callback)
         Tick enq = events_.now();
         events_.schedule(when, [this, callback, data, when, enq]() {
             readLatencyNs.sample(ticksToNs(when - enq));
+            readLatencyHistNs.sample(ticksToNs(when - enq));
             callback(data, when);
         });
         return;
@@ -480,7 +492,22 @@ MemoryController::completeRead(ReadEntry entry, Tick when)
     switch (entry.kind) {
       case ReadKind::Data: {
         LineData logical = readLogical(entry.addr);
-        readLatencyNs.sample(ticksToNs(when - entry.enqueueTick));
+        double latencyNs = ticksToNs(when - entry.enqueueTick);
+        readLatencyNs.sample(latencyNs);
+        readLatencyHistNs.sample(latencyNs);
+        if (traceSink_) {
+            CtrlTraceRecord r;
+            r.tick = when;
+            r.kind = CtrlTraceRecord::Kind::Read;
+            r.channel = static_cast<std::uint8_t>(channel_);
+            r.wordline = static_cast<std::uint16_t>(entry.loc.wordline);
+            r.bitline =
+                static_cast<std::uint16_t>(entry.loc.worstBitline());
+            r.latencyNs = static_cast<float>(latencyNs);
+            r.queueDepth =
+                static_cast<std::uint32_t>(readQueue_.size());
+            traceSink_->record(r);
+        }
         for (auto &cb : entry.callbacks)
             cb(logical, when);
         break;
@@ -613,6 +640,22 @@ MemoryController::issueOneWrite()
                 decision.powerScale;
         }
 
+        if (traceSink_) {
+            CtrlTraceRecord r;
+            r.tick = events_.now();
+            r.kind = CtrlTraceRecord::Kind::Write;
+            r.channel = static_cast<std::uint8_t>(channel_);
+            r.wordline = static_cast<std::uint16_t>(taken.loc.wordline);
+            r.bitline =
+                static_cast<std::uint16_t>(taken.loc.worstBitline());
+            r.lrsCount = static_cast<std::uint16_t>(
+                store_.maxMatLrsCount(taken.loc.pageIndex));
+            r.latencyNs = static_cast<float>(decision.latencyNs);
+            r.queueDepth =
+                static_cast<std::uint32_t>(writeQueue_.size());
+            traceSink_->record(r);
+        }
+
         Tick busy = events_.now() + tRcd_ + nsToTicks(decision.latencyNs);
         bankBusyUntil_[bank] = busy;
         lastIssueTick_ = events_.now();
@@ -657,6 +700,7 @@ MemoryController::completeWrite(WriteEntry entry, double latencyNs,
         dataWriteEnergyPj += energyPj;
         writeEnergyPj += energyPj;
         writeServiceNs.sample(cfg_.tRcdNs + latencyNs);
+        writeServiceHistNs.sample(cfg_.tRcdNs + latencyNs);
         writeLatencyOnlyNs.sample(latencyNs);
         ++pageWrites_[entry.addr / MemoryGeometry::pageBytes];
         inFlightWrites_.erase(entry.addr);

@@ -30,6 +30,7 @@
 #include "ctrl/fnw.hh"
 #include "ctrl/metadata_cache.hh"
 #include "ctrl/scheme.hh"
+#include "ctrl/trace_sink.hh"
 #include "mem/backing_store.hh"
 #include "mem/request.hh"
 #include "reram/timing_tables.hh"
@@ -135,6 +136,13 @@ class MemoryController
     void setRemapper(AddressRemapper *remapper) { remapper_ = remapper; }
 
     /**
+     * Install a cycle-level event trace sink (nullptr = off). The
+     * sink must outlive the controller's simulation; it receives one
+     * record per data-write dispatch and per demand-read completion.
+     */
+    void setTraceSink(WriteTraceSink *sink) { traceSink_ = sink; }
+
+    /**
      * Enqueue a metadata writeback (bypasses the data write queue cap
      * via an overflow list so fills can always evict).
      */
@@ -165,6 +173,10 @@ class MemoryController
     StatAverage writeServiceNs;    //!< data writes: tRCD + tWR
     StatAverage writeLatencyOnlyNs; //!< data writes: tWR only
     StatAverage writeQueueTimeNs;
+    /** Distribution of demand-read queue+service latency (ns). */
+    StatHistogram readLatencyHistNs;
+    /** Distribution of data-write service (tRCD + tWR) latency (ns). */
+    StatHistogram writeServiceHistNs;
     StatScalar readEnergyPj, writeEnergyPj;
     StatScalar dataWriteEnergyPj, metaWriteEnergyPj;
     StatScalar cellResets, cellSets;
@@ -214,6 +226,7 @@ class MemoryController
     std::shared_ptr<WriteScheme> scheme_;
     MetadataCache metaCache_;
     AddressRemapper *remapper_ = nullptr;
+    WriteTraceSink *traceSink_ = nullptr;
 
     std::deque<ReadEntry> readQueue_;      //!< demand reads
     std::deque<ReadEntry> internalReads_;  //!< metadata + SMB reads

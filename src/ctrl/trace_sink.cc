@@ -1,0 +1,65 @@
+#include "trace_sink.hh"
+
+#include <cstdio>
+#include <cstring>
+
+namespace ladder
+{
+
+void
+WriteTraceSink::writeCsv(std::ostream &os) const
+{
+    os << "type,tick,channel,wordline,bitline,lrs_count,latency_ns,"
+          "queue_depth\n";
+    char buf[128];
+    for (const CtrlTraceRecord &r : records_) {
+        std::snprintf(
+            buf, sizeof(buf), "%c,%llu,%u,%u,%u,%u,%.3f,%u\n",
+            r.kind == CtrlTraceRecord::Kind::Write ? 'W' : 'R',
+            static_cast<unsigned long long>(r.tick), r.channel,
+            r.wordline, r.bitline, r.lrsCount,
+            static_cast<double>(r.latencyNs), r.queueDepth);
+        os << buf;
+    }
+}
+
+void
+WriteTraceSink::writeBinary(std::ostream &os) const
+{
+    // Header: magic, version, record count.
+    const char magic[8] = {'L', 'A', 'D', 'D', 'R', 'T', 'R', 'C'};
+    os.write(magic, sizeof(magic));
+    auto writeU32 = [&os](std::uint32_t v) {
+        char b[4];
+        for (int i = 0; i < 4; ++i)
+            b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+        os.write(b, 4);
+    };
+    auto writeU64 = [&os](std::uint64_t v) {
+        char b[8];
+        for (int i = 0; i < 8; ++i)
+            b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+        os.write(b, 8);
+    };
+    writeU32(1);
+    writeU32(static_cast<std::uint32_t>(records_.size()));
+    for (const CtrlTraceRecord &r : records_) {
+        writeU64(r.tick);
+        os.put(static_cast<char>(r.kind));
+        os.put(static_cast<char>(r.channel));
+        auto writeU16 = [&os](std::uint16_t v) {
+            os.put(static_cast<char>(v & 0xFF));
+            os.put(static_cast<char>((v >> 8) & 0xFF));
+        };
+        writeU16(r.wordline);
+        writeU16(r.bitline);
+        writeU16(r.lrsCount);
+        std::uint32_t latencyBits;
+        static_assert(sizeof(latencyBits) == sizeof(r.latencyNs));
+        std::memcpy(&latencyBits, &r.latencyNs, sizeof(latencyBits));
+        writeU32(latencyBits);
+        writeU32(r.queueDepth);
+    }
+}
+
+} // namespace ladder

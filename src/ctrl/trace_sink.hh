@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Cycle-level event trace sink for the memory controller. Each data
+ * write dispatch and each completed demand read appends one fixed
+ * record; the buffer is written out once at the end of a run as CSV
+ * (self-describing, plottable) or as packed little-endian binary
+ * (compact, for long traces).
+ *
+ * Records are appended from the (single-threaded) event loop of one
+ * System, in event order, so a trace is deterministic for a given run
+ * regardless of sweep parallelism — each run owns its own sink.
+ */
+
+#ifndef LADDER_CTRL_TRACE_SINK_HH
+#define LADDER_CTRL_TRACE_SINK_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ladder
+{
+
+/** One traced controller event (fixed 24-byte wire format). */
+struct CtrlTraceRecord
+{
+    enum class Kind : std::uint8_t { Write = 0, Read = 1 };
+
+    std::uint64_t tick = 0;      //!< dispatch (write) / completion (read)
+    Kind kind = Kind::Write;
+    std::uint8_t channel = 0;
+    std::uint16_t wordline = 0;  //!< selected row within the mats
+    std::uint16_t bitline = 0;   //!< worst (farthest) selected bitline
+    std::uint16_t lrsCount = 0;  //!< wordline LRS ('1') count (writes)
+    float latencyNs = 0.0f;      //!< chosen tWR (write) / total (read)
+    std::uint32_t queueDepth = 0; //!< same-class queue depth at event
+};
+
+/** In-memory trace buffer with CSV / binary serialization. */
+class WriteTraceSink
+{
+  public:
+    void
+    record(const CtrlTraceRecord &r)
+    {
+        records_.push_back(r);
+    }
+
+    const std::vector<CtrlTraceRecord> &records() const { return records_; }
+    std::size_t size() const { return records_.size(); }
+    void clear() { records_.clear(); }
+
+    /** Write `type,tick,channel,wordline,bitline,...` CSV rows. */
+    void writeCsv(std::ostream &os) const;
+
+    /**
+     * Write the packed binary form: a 16-byte header ("LADDRTRC",
+     * u32 version, u32 record count) followed by the records in the
+     * fixed little-endian layout documented in EXPERIMENTS.md.
+     */
+    void writeBinary(std::ostream &os) const;
+
+  private:
+    std::vector<CtrlTraceRecord> records_;
+};
+
+} // namespace ladder
+
+#endif // LADDER_CTRL_TRACE_SINK_HH

@@ -11,6 +11,7 @@
 
 #include "common/log.hh"
 #include "common/thread_pool.hh"
+#include "sim/stats_export.hh"
 #include "trace/workloads.hh"
 
 namespace ladder
@@ -62,6 +63,7 @@ makeSystemConfig(SchemeKind scheme, const std::string &workload,
     sys.workloads = workloadPrograms(workload);
     sys.seed = config.seed;
     sys.controller.fnwMode = config.fnwMode;
+    sys.epochCycles = config.epochCycles;
     if (config.cacheScale != 1.0) {
         auto scale = [&](std::size_t bytes) {
             std::size_t scaled = static_cast<std::size_t>(
@@ -81,7 +83,15 @@ runOne(SchemeKind scheme, const std::string &workload,
        const ExperimentConfig &config)
 {
     System system(makeSystemConfig(scheme, workload, config));
-    return system.run(config.warmupInstr, config.measureInstr);
+    WriteTraceSink trace;
+    const bool tracing = !config.traceOutDir.empty();
+    if (tracing)
+        system.attachTraceSink(&trace);
+    SimResult result =
+        system.run(config.warmupInstr, config.measureInstr);
+    exportRun(config, scheme, workload, system, result,
+              tracing ? &trace : nullptr);
+    return result;
 }
 
 Matrix
@@ -161,6 +171,9 @@ runMatrixParallel(const std::vector<SchemeKind> &schemes,
         matrix.results[{schemeKindName(plan[i].scheme),
                         plan[i].workload}] = std::move(slots[i]);
     }
+    // After the barrier: the sweep index is written exactly once, in
+    // canonical order, so it cannot depend on completion order.
+    exportSweep(config, matrix);
     return matrix;
 }
 

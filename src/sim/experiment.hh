@@ -40,6 +40,26 @@ struct ExperimentConfig
      * scheduling order cannot leak into the metrics.
      */
     unsigned jobs = 0;
+    /**
+     * When non-empty, each run writes
+     * `<statsJsonDir>/<scheme>__<workload>/stats.json` and the sweep
+     * writes `<statsJsonDir>/sweep.json` (see stats_export.hh).
+     */
+    std::string statsJsonDir;
+    /**
+     * When non-empty, each run writes its measured-window write/read
+     * trace to `<traceOutDir>/<scheme>__<workload>/trace.<ext>`.
+     */
+    std::string traceOutDir;
+    std::string traceFormat = "csv"; //!< "csv" or "bin"
+    /** Core cycles per stat snapshot (0 = no epoch series). */
+    std::uint64_t epochCycles = 0;
+    /**
+     * Include volatile manifest fields (wall clock, job count) in the
+     * JSON outputs. Off by default so identical configs produce
+     * byte-identical files at any `jobs=` value.
+     */
+    bool volatileManifest = false;
 };
 
 /**

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Structured run output: a RunManifest identifying each (scheme,
+ * workload) cell, per-run `stats.json` files (manifest + SimResult +
+ * full stat groups + epoch time series + solver counters), optional
+ * per-run write traces, and a sweep-level `sweep.json` index.
+ *
+ * Determinism contract: with ExperimentConfig::volatileManifest off
+ * (the default), every emitted file is byte-identical for a given
+ * (config, repo state) regardless of sweep parallelism — volatile
+ * fields (wall clock, job count) are only added when explicitly
+ * requested.
+ */
+
+#ifndef LADDER_SIM_STATS_EXPORT_HH
+#define LADDER_SIM_STATS_EXPORT_HH
+
+#include <string>
+
+#include "ctrl/trace_sink.hh"
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+
+namespace ladder
+{
+
+class JsonWriter;
+
+/** Identity of one run, serialized into every stats.json. */
+struct RunManifest
+{
+    std::string run;      //!< directory name: `<scheme>__<workload>`
+    std::string scheme;
+    std::string workload;
+    std::uint64_t seed = 0;
+    std::uint64_t warmupInstr = 0;
+    std::uint64_t measureInstr = 0;
+    unsigned granularity = 0;
+    double rangeShrink = 1.0;
+    double cacheScale = 1.0;
+    std::uint64_t epochCycles = 0;
+    std::string gitDescribe;
+    /** Volatile extras (wall clock, jobs); off by default. */
+    bool volatileFields = false;
+    std::string wallClockUtc;
+    unsigned jobs = 0;
+};
+
+/**
+ * `git describe --always --dirty` for the repository containing the
+ * working directory, computed once per process ("unknown" when git or
+ * the repository is unavailable).
+ */
+const std::string &gitDescribeString();
+
+/** Canonical per-run directory name: `<scheme>__<workload>`. */
+std::string runDirName(SchemeKind scheme, const std::string &workload);
+
+/** Build the manifest for one (scheme, workload) cell. */
+RunManifest makeRunManifest(SchemeKind scheme,
+                            const std::string &workload,
+                            const ExperimentConfig &config);
+
+/** Serialize @p manifest as the current JSON object's members. */
+void writeManifestFields(JsonWriter &json, const RunManifest &manifest);
+
+/** Serialize @p result as a JSON object value. */
+void writeResultJson(JsonWriter &json, const SimResult &result);
+
+/**
+ * Write `<config.statsJsonDir>/<run>/stats.json` (when statsJsonDir
+ * is set) and `<config.traceOutDir>/<run>/trace.{csv,bin}` (when
+ * traceOutDir is set and @p trace is non-null). Directories are
+ * created as needed. No-op when neither output is enabled.
+ */
+void exportRun(const ExperimentConfig &config, SchemeKind scheme,
+               const std::string &workload, const System &system,
+               const SimResult &result, const WriteTraceSink *trace);
+
+/**
+ * Write `<config.statsJsonDir>/sweep.json`: the sweep manifest plus
+ * every cell's SimResult in canonical (workload, scheme) order.
+ * No-op when statsJsonDir is empty.
+ */
+void exportSweep(const ExperimentConfig &config, const Matrix &matrix);
+
+} // namespace ladder
+
+#endif // LADDER_SIM_STATS_EXPORT_HH

@@ -165,6 +165,45 @@ System::setRemapper(AddressRemapper *remapper)
 }
 
 void
+System::attachTraceSink(WriteTraceSink *sink)
+{
+    traceSink_ = sink;
+    for (auto &ctrl : controllers_)
+        ctrl->setTraceSink(sink);
+}
+
+void
+System::captureEpoch(Tick when)
+{
+    EpochSnapshot snap;
+    snap.tick = when;
+    snap.values.reserve(epochNames_.size());
+    for (const auto &group : ctrlStatGroups_) {
+        group.visit([&](const std::string &, double v) {
+            snap.values.push_back(v);
+        });
+    }
+    ladder_assert(snap.values.size() == epochNames_.size(),
+                  "epoch snapshot arity changed mid-run");
+    epochs_.push_back(std::move(snap));
+}
+
+void
+System::scheduleEpochSnapshot(Tick when, Tick epochTicks,
+                              const unsigned *pending)
+{
+    events_.schedule(when, [this, when, epochTicks, pending]() {
+        // Stop once every core has finished its measured window so
+        // the event queue can drain; the final partial epoch is not
+        // sampled (its interval is shorter than epochCycles).
+        if (*pending == 0)
+            return;
+        captureEpoch(when);
+        scheduleEpochSnapshot(when + epochTicks, epochTicks, pending);
+    });
+}
+
+void
 System::resetStats()
 {
     for (auto &group : ctrlStatGroups_)
@@ -206,6 +245,9 @@ System::run(std::uint64_t warmupInstr, std::uint64_t measureInstr)
 
     // --- Measured window ---
     resetStats();
+    // The trace covers the measured window only; drop ramp records.
+    if (traceSink_)
+        traceSink_->clear();
     std::vector<Tick> startTime;
     for (auto &core : cores_)
         startTime.push_back(core->coreTime());
@@ -220,6 +262,25 @@ System::run(std::uint64_t warmupInstr, std::uint64_t measureInstr)
             endTime[c] = core->coreTime();
             --pending;
         });
+    }
+    epochNames_.clear();
+    epochs_.clear();
+    if (config_.epochCycles > 0) {
+        // Names are fixed up front so they are available (and the
+        // series arity is pinned) even when the window is shorter
+        // than one epoch.
+        for (const auto &group : ctrlStatGroups_) {
+            group.visit([&](const std::string &name, double) {
+                epochNames_.push_back(name);
+            });
+        }
+        Tick epochTicks = nsToTicks(
+            static_cast<double>(config_.epochCycles) /
+            config_.core.freqGhz);
+        if (epochTicks == 0)
+            epochTicks = 1;
+        scheduleEpochSnapshot(events_.now() + epochTicks, epochTicks,
+                              &pending);
     }
     events_.runUntil(maxTick);
     ladder_assert(pending == 0,

@@ -57,6 +57,20 @@ struct SystemConfig
     double backgroundDensity = 0.4;  //!< LRS fraction of other rows
     std::uint64_t seed = 1;
     bool paperScale = false;
+    /**
+     * Core-clock cycles between periodic stat snapshots during the
+     * measured window (0 = no epoch time series). Snapshots capture
+     * every controller scalar/average as a flat value vector; see
+     * epochNames() / epochs().
+     */
+    std::uint64_t epochCycles = 0;
+};
+
+/** One periodic flattened-stats sample of the measured window. */
+struct EpochSnapshot
+{
+    Tick tick = 0;              //!< absolute event-queue time
+    std::vector<double> values; //!< parallel to System::epochNames()
 };
 
 /** Outcome of one measured simulation window. */
@@ -113,8 +127,32 @@ class System
     /** Install a wear-leveling remapper on every controller. */
     void setRemapper(AddressRemapper *remapper);
 
+    /**
+     * Install a trace sink on every controller (nullptr = off). Must
+     * outlive any subsequent run(); records arrive in event order.
+     */
+    void attachTraceSink(WriteTraceSink *sink);
+
     /** Dump all statistics. */
     void dumpStats(std::ostream &os);
+
+    /** Per-controller stat groups (for structured export). */
+    const std::vector<StatGroup> &statGroups() const
+    {
+        return ctrlStatGroups_;
+    }
+
+    /** Flattened stat names sampled by epoch snapshots. */
+    const std::vector<std::string> &epochNames() const
+    {
+        return epochNames_;
+    }
+
+    /** Epoch time series from the most recent measured window. */
+    const std::vector<EpochSnapshot> &epochs() const
+    {
+        return epochs_;
+    }
 
   private:
     SystemConfig config_;
@@ -128,8 +166,14 @@ class System
     std::vector<std::unique_ptr<Core>> cores_;
     std::vector<StatGroup> ctrlStatGroups_;
     AddressRemapper *remapper_ = nullptr;
+    WriteTraceSink *traceSink_ = nullptr;
+    std::vector<std::string> epochNames_;
+    std::vector<EpochSnapshot> epochs_;
 
     void resetStats();
+    void captureEpoch(Tick when);
+    void scheduleEpochSnapshot(Tick when, Tick epochTicks,
+                               const unsigned *pending);
 };
 
 /** Apply the paper's full-scale parameters to a config. */

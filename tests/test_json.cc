@@ -1,0 +1,126 @@
+/** @file Tests for the minimal JSON writer/parser pair. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "common/json.hh"
+
+namespace ladder
+{
+namespace
+{
+
+TEST(JsonWriter, ObjectsArraysAndScalars)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("name", "run-1");
+    w.field("ipc", 1.25);
+    w.field("count", std::uint64_t{42});
+    w.field("delta", std::int64_t{-7});
+    w.field("ok", true);
+    w.key("none");
+    w.valueNull();
+    w.key("values");
+    w.beginArray();
+    w.value(1);
+    w.value(2.5);
+    w.endArray();
+    w.key("nested");
+    w.beginObject();
+    w.field("x", 0.0);
+    w.endObject();
+    w.endObject();
+    EXPECT_TRUE(w.balanced());
+
+    JsonValue v = parseJson(os.str());
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.at("name").string, "run-1");
+    EXPECT_DOUBLE_EQ(v.at("ipc").number, 1.25);
+    EXPECT_DOUBLE_EQ(v.at("count").number, 42.0);
+    EXPECT_DOUBLE_EQ(v.at("delta").number, -7.0);
+    EXPECT_TRUE(v.at("ok").boolean);
+    EXPECT_TRUE(v.at("none").isNull());
+    ASSERT_TRUE(v.at("values").isArray());
+    ASSERT_EQ(v.at("values").array.size(), 2u);
+    EXPECT_DOUBLE_EQ(v.at("values").array[1].number, 2.5);
+    EXPECT_DOUBLE_EQ(v.at("nested").at("x").number, 0.0);
+    EXPECT_FALSE(v.has("missing"));
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("nan", std::numeric_limits<double>::quiet_NaN());
+    w.field("inf", std::numeric_limits<double>::infinity());
+    w.endObject();
+    JsonValue v = parseJson(os.str());
+    EXPECT_TRUE(v.at("nan").isNull());
+    EXPECT_TRUE(v.at("inf").isNull());
+}
+
+TEST(JsonWriter, DoublesRoundTripExactly)
+{
+    const double values[] = {0.1, 1.0 / 3.0, 1e-300, 6.02214076e23,
+                             -123.456789012345678, 0.0};
+    for (double d : values) {
+        std::ostringstream os;
+        JsonWriter w(os);
+        w.beginArray();
+        w.value(d);
+        w.endArray();
+        JsonValue v = parseJson(os.str());
+        std::uint64_t ba, bb;
+        std::memcpy(&ba, &d, sizeof(ba));
+        double parsed = v.array[0].number;
+        std::memcpy(&bb, &parsed, sizeof(bb));
+        EXPECT_EQ(ba, bb) << "double " << d << " did not round-trip";
+    }
+}
+
+TEST(JsonWriter, StringEscaping)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("s", std::string("a\"b\\c\n\t\x01z"));
+    w.endObject();
+    JsonValue v = parseJson(os.str());
+    EXPECT_EQ(v.at("s").string, "a\"b\\c\n\t\x01z");
+}
+
+TEST(JsonWriter, DeterministicOutput)
+{
+    auto emit = []() {
+        std::ostringstream os;
+        JsonWriter w(os);
+        w.beginObject();
+        w.field("pi", 3.141592653589793);
+        w.key("list");
+        w.beginArray();
+        for (int i = 0; i < 4; ++i)
+            w.value(i * 0.1);
+        w.endArray();
+        w.endObject();
+        return os.str();
+    };
+    EXPECT_EQ(emit(), emit());
+}
+
+TEST(JsonParser, AcceptsWhitespaceAndUnicodeEscapes)
+{
+    JsonValue v = parseJson("  { \"k\" : [ 1 ,\n 2 ] ,"
+                            " \"u\" : \"\\u0041\\u00e9\" } ");
+    EXPECT_DOUBLE_EQ(v.at("k").array[0].number, 1.0);
+    EXPECT_EQ(v.at("u").string, "A\xc3\xa9");
+}
+
+} // namespace
+} // namespace ladder

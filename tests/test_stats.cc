@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "common/json.hh"
 #include "common/stats.hh"
 
 namespace ladder
@@ -39,6 +40,29 @@ TEST(StatAverage, Moments)
     a.reset();
     EXPECT_EQ(a.count(), 0u);
     EXPECT_EQ(a.mean(), 0.0);
+}
+
+TEST(StatAverage, AllNegativeSamples)
+{
+    // Regression: min/max must be seeded from the first sample, not
+    // from 0.0, or an all-negative set reports min() == 0.
+    StatAverage a;
+    a.sample(-5.0);
+    a.sample(-2.0);
+    a.sample(-9.0);
+    EXPECT_DOUBLE_EQ(a.min(), -9.0);
+    EXPECT_DOUBLE_EQ(a.max(), -2.0);
+    a.reset();
+    a.sample(-1.5);
+    EXPECT_DOUBLE_EQ(a.min(), -1.5);
+    EXPECT_DOUBLE_EQ(a.max(), -1.5);
+}
+
+TEST(StatAverage, EmptyMinMaxAreZero)
+{
+    StatAverage a;
+    EXPECT_EQ(a.min(), 0.0);
+    EXPECT_EQ(a.max(), 0.0);
 }
 
 TEST(StatHistogram, Buckets)
@@ -82,6 +106,91 @@ TEST(StatGroup, DumpContainsEntries)
     EXPECT_NE(text.find("demand reads"), std::string::npos);
     EXPECT_NE(text.find("sys.latency.mean"), std::string::npos);
     EXPECT_NE(text.find("child.inner"), std::string::npos);
+}
+
+TEST(StatGroup, HistogramTextDump)
+{
+    StatGroup group("ctrl");
+    StatHistogram h(0.0, 10.0, 2);
+    h.sample(1.0);
+    h.sample(6.0);
+    h.sample(42.0);
+    group.regHistogram("lat", &h, "latency buckets");
+    std::ostringstream os;
+    group.dump(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("ctrl.lat.samples"), std::string::npos);
+    EXPECT_NE(text.find("ctrl.lat.overflow"), std::string::npos);
+    EXPECT_NE(text.find("latency buckets"), std::string::npos);
+}
+
+TEST(StatGroup, JsonRoundTrip)
+{
+    StatGroup group("sys");
+    StatScalar reads;
+    reads += 17;
+    StatAverage lat;
+    lat.sample(1.5);
+    lat.sample(4.5);
+    StatHistogram hist(0.0, 8.0, 4);
+    hist.sample(1.0);
+    hist.sample(7.5);
+    hist.sample(-3.0);
+    group.regScalar("reads", &reads);
+    group.regAverage("lat", &lat);
+    group.regHistogram("hist", &hist);
+
+    StatGroup child("child");
+    StatScalar inner;
+    inner += 2;
+    child.regScalar("inner", &inner);
+    group.addChild(&child);
+
+    std::ostringstream os;
+    JsonWriter w(os);
+    group.dumpJson(w);
+    ASSERT_TRUE(w.balanced());
+
+    JsonValue v = parseJson(os.str());
+    EXPECT_EQ(v.at("name").string, "sys");
+    EXPECT_DOUBLE_EQ(v.at("scalars").at("reads").number, 17.0);
+    const JsonValue &latJson = v.at("averages").at("lat");
+    EXPECT_DOUBLE_EQ(latJson.at("mean").number, 3.0);
+    EXPECT_DOUBLE_EQ(latJson.at("min").number, 1.5);
+    EXPECT_DOUBLE_EQ(latJson.at("max").number, 4.5);
+    EXPECT_DOUBLE_EQ(latJson.at("sum").number, 6.0);
+    EXPECT_DOUBLE_EQ(latJson.at("count").number, 2.0);
+    const JsonValue &histJson = v.at("histograms").at("hist");
+    EXPECT_DOUBLE_EQ(histJson.at("lo").number, 0.0);
+    EXPECT_DOUBLE_EQ(histJson.at("hi").number, 8.0);
+    EXPECT_DOUBLE_EQ(histJson.at("samples").number, 3.0);
+    EXPECT_DOUBLE_EQ(histJson.at("underflow").number, 1.0);
+    ASSERT_EQ(histJson.at("counts").array.size(), 4u);
+    EXPECT_DOUBLE_EQ(histJson.at("counts").array[0].number, 1.0);
+    EXPECT_DOUBLE_EQ(histJson.at("counts").array[3].number, 1.0);
+    ASSERT_EQ(v.at("children").array.size(), 1u);
+    EXPECT_DOUBLE_EQ(
+        v.at("children").array[0].at("scalars").at("inner").number,
+        2.0);
+}
+
+TEST(StatGroup, VisitFlattensLeaves)
+{
+    StatGroup group("g");
+    StatScalar s;
+    s += 3;
+    StatAverage a;
+    a.sample(2.0);
+    a.sample(4.0);
+    group.regScalar("s", &s);
+    group.regAverage("a", &a);
+    std::map<std::string, double> seen;
+    group.visit([&](const std::string &name, double v) {
+        seen[name] = v;
+    });
+    EXPECT_DOUBLE_EQ(seen.at("g.s"), 3.0);
+    EXPECT_DOUBLE_EQ(seen.at("g.a.sum"), 6.0);
+    EXPECT_DOUBLE_EQ(seen.at("g.a.count"), 2.0);
 }
 
 TEST(StatGroup, ResetAllRecurses)
