@@ -14,7 +14,10 @@
  *   stats-json=<dir>          write per-run stats.json + sweep.json
  *   epoch-cycles=<N>          core cycles per stat snapshot (0 = off)
  *   trace-out=<dir>           write per-run write/read event traces
- *   trace-format=csv|bin      trace encoding (default csv)
+ *   trace-format=csv|bin|bin2 trace encoding (default csv)
+ *   trace-stream=1            stream traces to disk during the run
+ *                             (bounded memory; csv/bin2 only)
+ *   trace-chunk=<records>     records per streamed/bin2 chunk
  *   volatile-manifest=1       include wall clock + jobs in manifests
  * and honours LADDER_BENCH_SCALE (multiplies both windows).
  */
@@ -53,6 +56,10 @@ parseBenchArgs(int argc, char **argv, ExperimentConfig &cfg)
     cfg.traceOutDir = config.getString("trace-out", cfg.traceOutDir);
     cfg.traceFormat =
         config.getString("trace-format", cfg.traceFormat);
+    cfg.traceStream = config.getBool("trace-stream", cfg.traceStream);
+    cfg.traceChunkRecords = static_cast<std::uint64_t>(config.getInt(
+        "trace-chunk",
+        static_cast<std::int64_t>(cfg.traceChunkRecords)));
     cfg.epochCycles = static_cast<std::uint64_t>(config.getInt(
         "epoch-cycles", static_cast<std::int64_t>(cfg.epochCycles)));
     cfg.volatileManifest =

@@ -15,17 +15,21 @@
  *                  [warmup=1500000] [measure=400000] [stats=1]
  *                  [jobs=N]   (0 = one per hardware thread, 1 = serial)
  *                  [stats-json=<dir>] [epoch-cycles=<N>]
- *                  [trace-out=<dir>] [trace-format=csv|bin]
+ *                  [trace-out=<dir>] [trace-format=csv|bin|bin2]
+ *                  [trace-stream=1] [trace-chunk=<records>]
  *                  [volatile-manifest=1]
  *
  * stats-json= writes one stats.json per run (and sweep.json for
- * sweeps); trace-out= writes per-run measured-window event traces;
- * epoch-cycles= samples the controller stats every N core cycles into
- * the stats.json epoch series. See EXPERIMENTS.md for the schema.
+ * sweeps); trace-out= writes per-run measured-window event traces
+ * (trace-stream=1 streams them to disk in bounded memory while the
+ * run executes; csv/bin2 only); epoch-cycles= samples the controller,
+ * core, and cache stats every N core cycles into the stats.json epoch
+ * series. See EXPERIMENTS.md for the schema and wire formats.
  */
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -74,6 +78,10 @@ main(int argc, char **argv)
     cfg.statsJsonDir = args.getString("stats-json", "");
     cfg.traceOutDir = args.getString("trace-out", "");
     cfg.traceFormat = args.getString("trace-format", cfg.traceFormat);
+    cfg.traceStream = args.getBool("trace-stream", cfg.traceStream);
+    cfg.traceChunkRecords = static_cast<std::uint64_t>(args.getInt(
+        "trace-chunk",
+        static_cast<std::int64_t>(cfg.traceChunkRecords)));
     cfg.epochCycles =
         static_cast<std::uint64_t>(args.getInt("epoch-cycles", 0));
     cfg.volatileManifest = args.getBool("volatile-manifest", false);
@@ -115,13 +123,14 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(cfg.measureInstr));
 
     System system(makeSystemConfig(kind, workload, cfg));
-    WriteTraceSink trace;
-    const bool tracing = !cfg.traceOutDir.empty();
-    if (tracing)
-        system.attachTraceSink(&trace);
+    std::unique_ptr<WriteTraceSink> trace =
+        makeTraceSink(kind, workload, cfg);
+    if (trace)
+        system.attachTraceSink(trace.get());
     SimResult r = system.run(cfg.warmupInstr, cfg.measureInstr);
-    exportRun(cfg, kind, workload, system, r,
-              tracing ? &trace : nullptr);
+    if (trace)
+        trace->finish();
+    exportRun(cfg, kind, workload, system, r, trace.get());
 
     std::printf("\n--- headline metrics ---\n");
     for (std::size_t c = 0; c < r.coreIpc.size(); ++c)

@@ -16,6 +16,17 @@ Cache::Cache(const CacheParams &params, std::string name)
     lines_.resize(entries);
 }
 
+void
+Cache::regStats(StatGroup &group, const std::string &prefix)
+{
+    group.regScalar(prefix + "hits", &hits, "lookup hits");
+    group.regScalar(prefix + "misses", &misses, "lookup misses");
+    group.regScalar(prefix + "evictions", &evictions,
+                    "lines displaced by insertion");
+    group.regScalar(prefix + "dirty_evictions", &dirtyEvictions,
+                    "displaced lines needing writeback");
+}
+
 unsigned
 Cache::setIndex(Addr lineAddr) const
 {

@@ -75,6 +75,13 @@ class Cache
     StatScalar evictions;
     StatScalar dirtyEvictions;
 
+    /**
+     * Register this cache's statistics into @p group, each name
+     * prefixed with @p prefix (e.g. "l1_" to fold the private levels
+     * of one core into a single group).
+     */
+    void regStats(StatGroup &group, const std::string &prefix = "");
+
   private:
     struct Way
     {

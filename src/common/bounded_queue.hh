@@ -1,0 +1,124 @@
+/**
+ * @file
+ * A bounded blocking FIFO for handing work between threads with
+ * backpressure: push() blocks while the queue is at capacity, pop()
+ * blocks while it is empty, and close() releases both sides so a
+ * producer/consumer pair can shut down cleanly. The streaming trace
+ * writer uses it to bound the number of in-flight trace chunks — the
+ * simulation thread stalls instead of buffering unboundedly when the
+ * disk cannot keep up.
+ */
+
+#ifndef LADDER_COMMON_BOUNDED_QUEUE_HH
+#define LADDER_COMMON_BOUNDED_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/log.hh"
+
+namespace ladder
+{
+
+/** Bounded blocking FIFO (any number of producers and consumers). */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity)
+    {
+        ladder_assert(capacity_ > 0, "BoundedQueue: zero capacity");
+    }
+
+    BoundedQueue(const BoundedQueue &) = delete;
+    BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+    /**
+     * Enqueue @p item, blocking while the queue holds capacity()
+     * items. Returns false (dropping the item) if the queue was
+     * closed before space became available.
+     */
+    bool
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notFull_.wait(lock, [this]() {
+            return closed_ || items_.size() < capacity_;
+        });
+        if (closed_)
+            return false;
+        items_.push_back(std::move(item));
+        lock.unlock();
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue the oldest item, blocking while the queue is empty.
+     * Returns nullopt once the queue is closed *and* drained, so a
+     * consumer loop `while (auto item = q.pop())` processes every
+     * item pushed before close().
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notEmpty_.wait(lock, [this]() {
+            return closed_ || !items_.empty();
+        });
+        if (items_.empty())
+            return std::nullopt;
+        std::optional<T> item(std::move(items_.front()));
+        items_.pop_front();
+        lock.unlock();
+        notFull_.notify_one();
+        return item;
+    }
+
+    /**
+     * Close the queue: subsequent push() calls fail, and pop() drains
+     * the remaining items before reporting exhaustion. Idempotent.
+     */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        notFull_.notify_all();
+        notEmpty_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable notFull_;
+    std::condition_variable notEmpty_;
+    std::deque<T> items_;
+    std::size_t capacity_;
+    bool closed_ = false;
+};
+
+} // namespace ladder
+
+#endif // LADDER_COMMON_BOUNDED_QUEUE_HH

@@ -1,0 +1,42 @@
+#include "crc32.hh"
+
+#include <array>
+
+namespace ladder
+{
+
+namespace
+{
+
+std::array<std::uint32_t, 256>
+buildTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32Update(std::uint32_t crc, const void *data, std::size_t len)
+{
+    static const std::array<std::uint32_t, 256> table = buildTable();
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    for (std::size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+    return crc;
+}
+
+std::uint32_t
+crc32(const void *data, std::size_t len)
+{
+    return crc32Final(crc32Update(crc32Init(), data, len));
+}
+
+} // namespace ladder

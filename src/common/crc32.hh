@@ -1,0 +1,46 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte
+ * ranges, used by the v2 chunked trace format to detect corruption of
+ * chunk payloads and of the footer index. The incremental form lets
+ * callers checksum data that arrives in pieces:
+ *
+ *   std::uint32_t crc = crc32Init();
+ *   crc = crc32Update(crc, a, lenA);
+ *   crc = crc32Update(crc, b, lenB);
+ *   std::uint32_t digest = crc32Final(crc);
+ */
+
+#ifndef LADDER_COMMON_CRC32_HH
+#define LADDER_COMMON_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ladder
+{
+
+/** Initial running value (all-ones preconditioning). */
+inline std::uint32_t
+crc32Init()
+{
+    return 0xFFFFFFFFu;
+}
+
+/** Fold @p len bytes at @p data into the running value. */
+std::uint32_t crc32Update(std::uint32_t crc, const void *data,
+                          std::size_t len);
+
+/** Finalize a running value into the standard digest. */
+inline std::uint32_t
+crc32Final(std::uint32_t crc)
+{
+    return crc ^ 0xFFFFFFFFu;
+}
+
+/** One-shot digest of a contiguous buffer. */
+std::uint32_t crc32(const void *data, std::size_t len);
+
+} // namespace ladder
+
+#endif // LADDER_COMMON_CRC32_HH

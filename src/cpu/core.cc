@@ -30,6 +30,27 @@ Core::physOf(Addr regionRelative) const
 }
 
 void
+Core::regStats(StatGroup &group)
+{
+    group.regScalar("mem_reads", &memReads,
+                    "demand fetches sent to memory");
+    group.regScalar("mem_writes", &memWrites,
+                    "L3 writebacks sent to memory");
+    group.regScalar("loads", &loads, "retired loads");
+    group.regScalar("stores", &stores, "retired stores");
+    group.regScalar("rob_stalls", &robStalls,
+                    "cycles stalled on a full ROB");
+    group.regScalar("mshr_stalls", &mshrStalls,
+                    "cycles stalled on MSHR exhaustion");
+    group.regScalar("chase_stalls", &chaseStalls,
+                    "cycles stalled on dependent-load chasing");
+    group.regScalar("wb_stalls", &wbStalls,
+                    "cycles stalled on writeback back-pressure");
+    group.regScalar("rdq_stalls", &rdqStalls,
+                    "cycles stalled on a full read queue");
+}
+
+void
 Core::functionalWarmup(std::uint64_t instructions)
 {
     std::uint64_t target = instrIssued_ + instructions;

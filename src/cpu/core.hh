@@ -98,6 +98,9 @@ class Core
     StatScalar robStalls, mshrStalls, chaseStalls, wbStalls,
         rdqStalls;
 
+    /** Register every core statistic into @p group. */
+    void regStats(StatGroup &group);
+
   private:
     struct OutstandingLoad
     {

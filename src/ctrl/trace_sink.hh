@@ -2,20 +2,46 @@
  * @file
  * Cycle-level event trace sink for the memory controller. Each data
  * write dispatch and each completed demand read appends one fixed
- * record; the buffer is written out once at the end of a run as CSV
- * (self-describing, plottable) or as packed little-endian binary
- * (compact, for long traces).
+ * record. Two operating modes:
+ *
+ *  - Buffered (default): records accumulate in memory and are
+ *    serialized once at the end of a run — CSV (self-describing,
+ *    plottable), the legacy v1 packed binary, or the v2 chunked
+ *    binary.
+ *  - Streaming: constructed with an output path, the sink appends
+ *    records into fixed-size chunks that are handed to a background
+ *    writer thread over a bounded queue with backpressure, so peak
+ *    trace memory is O(chunk size) however long the run is. Streaming
+ *    emits CSV or the v2 chunked binary and produces bytes identical
+ *    to the buffered serialization of the same record sequence.
  *
  * Records are appended from the (single-threaded) event loop of one
  * System, in event order, so a trace is deterministic for a given run
  * regardless of sweep parallelism — each run owns its own sink.
+ *
+ * v2 chunked wire format (all integers little-endian; full field
+ * tables in EXPERIMENTS.md):
+ *
+ *   file header   "LADDRTRC" u32 version=2, u32 chunkCapacity
+ *   chunk*        "CHNK" u32 recordCount, u32 payloadCrc32,
+ *                 recordCount x 24-byte records
+ *   footer        "FTER" u32 chunkCount, u64 totalRecords,
+ *                 chunkCount x { u64 offset, u32 count, u32 crc32 },
+ *                 u32 footerCrc32
+ *   trailer       u64 footerOffset, "LADDREND"
+ *
+ * Every chunk except the last holds exactly chunkCapacity records;
+ * chunk payloads and the footer are CRC-32 protected, and the trailer
+ * lets readers seek straight to the index.
  */
 
 #ifndef LADDER_CTRL_TRACE_SINK_HH
 #define LADDER_CTRL_TRACE_SINK_HH
 
 #include <cstdint>
+#include <memory>
 #include <ostream>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -38,32 +64,126 @@ struct CtrlTraceRecord
     std::uint32_t queueDepth = 0; //!< same-class queue depth at event
 };
 
-/** In-memory trace buffer with CSV / binary serialization. */
+/** Serialized size of one record in every binary trace version. */
+inline constexpr std::size_t traceRecordBytes = 24;
+
+/** On-disk trace encodings ("csv", "bin", "bin2" on command lines). */
+enum class TraceFormat { Csv, BinaryV1, BinaryV2 };
+
+/** Parse a trace-format= value; fatal() on an unknown name. */
+TraceFormat traceFormatFromName(const std::string &name);
+
+/** File name extension for a format ("csv" or "bin"). */
+std::string traceFormatExtension(TraceFormat format);
+
+/** Knobs for the streaming mode. */
+struct TraceStreamOptions
+{
+    /** Records per chunk (chunk = unit of buffering and flushing). */
+    std::size_t chunkRecords = 64 * 1024;
+    /**
+     * Bounded-queue capacity in chunks between the simulation thread
+     * and the writer thread; when full, record() blocks
+     * (backpressure) instead of growing the buffer.
+     */
+    std::size_t maxQueuedChunks = 4;
+};
+
+/** Trace buffer with buffered and streaming operation (see @file). */
 class WriteTraceSink
 {
   public:
-    void
-    record(const CtrlTraceRecord &r)
+    /** Buffered mode: keep everything in memory until serialized. */
+    WriteTraceSink();
+
+    /**
+     * Streaming mode: open @p path (truncating) and flush chunks of
+     * records to it from a background writer thread as the run
+     * progresses. @p format must be Csv or BinaryV2 — the v1 binary
+     * header carries the total record count up front and cannot be
+     * streamed. Call finish() (or let the destructor) to flush the
+     * final partial chunk and the v2 footer.
+     */
+    WriteTraceSink(const std::string &path, TraceFormat format,
+                   const TraceStreamOptions &options = {});
+
+    ~WriteTraceSink();
+
+    WriteTraceSink(const WriteTraceSink &) = delete;
+    WriteTraceSink &operator=(const WriteTraceSink &) = delete;
+
+    void record(const CtrlTraceRecord &r);
+
+    /** Records accepted since construction or the last clear(). */
+    std::size_t size() const { return total_; }
+
+    /**
+     * Drop everything recorded so far. In streaming mode the output
+     * file is truncated and restarted, so the ramp records a run
+     * discards never reach the final trace.
+     */
+    void clear();
+
+    bool streaming() const { return stream_ != nullptr; }
+
+    /** Streaming output path (empty in buffered mode). */
+    const std::string &path() const { return path_; }
+
+    /**
+     * Streaming mode: flush the final partial chunk, write the v2
+     * footer, join the writer thread, and close the file. Idempotent;
+     * record() must not be called afterwards. Buffered mode: no-op.
+     */
+    void finish();
+
+    /**
+     * High-water mark of records resident in this sink at any instant
+     * (buffered mode: the full buffer; streaming mode: the fill chunk
+     * plus queued and in-flight chunks). The bounded-memory guarantee
+     * is `peak <= chunkRecords * (maxQueuedChunks + 2)` in streaming
+     * mode, which tests assert.
+     */
+    std::size_t peakBufferedRecords() const
     {
-        records_.push_back(r);
+        return peakBuffered_;
     }
 
-    const std::vector<CtrlTraceRecord> &records() const { return records_; }
-    std::size_t size() const { return records_.size(); }
-    void clear() { records_.clear(); }
+    /** Buffered-mode record access (asserts in streaming mode). */
+    const std::vector<CtrlTraceRecord> &records() const;
 
     /** Write `type,tick,channel,wordline,bitline,...` CSV rows. */
     void writeCsv(std::ostream &os) const;
 
     /**
-     * Write the packed binary form: a 16-byte header ("LADDRTRC",
-     * u32 version, u32 record count) followed by the records in the
-     * fixed little-endian layout documented in EXPERIMENTS.md.
+     * Write the legacy packed v1 binary: a 16-byte header
+     * ("LADDRTRC", u32 version=1, u32 record count) followed by the
+     * records in the fixed little-endian layout.
      */
     void writeBinary(std::ostream &os) const;
 
+    /**
+     * Write the v2 chunked binary with @p chunkRecords records per
+     * chunk — byte-identical to what a streaming sink with the same
+     * chunk size would emit for the same record sequence.
+     */
+    void writeBinaryV2(std::ostream &os,
+                       std::size_t chunkRecords) const;
+
   private:
-    std::vector<CtrlTraceRecord> records_;
+    struct Stream;
+
+    void startStream();
+    void pushChunk(std::vector<CtrlTraceRecord> &&chunk);
+    void stopStream(bool writeFooter);
+
+    std::string path_;          //!< streaming only
+    TraceFormat format_ = TraceFormat::Csv;
+    TraceStreamOptions options_{};
+    std::unique_ptr<Stream> stream_; //!< non-null in streaming mode
+
+    std::vector<CtrlTraceRecord> records_; //!< buffer / fill chunk
+    std::size_t total_ = 0;
+    std::size_t peakBuffered_ = 0;
 };
 
 } // namespace ladder

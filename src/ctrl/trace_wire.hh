@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared wire-format constants of the controller trace encodings,
+ * used by the writer (trace_sink) and the reader (trace_reader) so
+ * the two cannot drift apart. The byte layouts themselves are
+ * documented in trace_sink.hh and EXPERIMENTS.md.
+ */
+
+#ifndef LADDER_CTRL_TRACE_WIRE_HH
+#define LADDER_CTRL_TRACE_WIRE_HH
+
+#include <cstddef>
+
+namespace ladder
+{
+
+inline constexpr char traceFileMagic[8] = {'L', 'A', 'D', 'D',
+                                           'R', 'T', 'R', 'C'};
+inline constexpr char traceChunkMagic[4] = {'C', 'H', 'N', 'K'};
+inline constexpr char traceFooterMagic[4] = {'F', 'T', 'E', 'R'};
+inline constexpr char traceEndMagic[8] = {'L', 'A', 'D', 'D',
+                                          'R', 'E', 'N', 'D'};
+
+/** CSV header row, including the trailing newline. */
+inline constexpr char traceCsvHeader[] =
+    "type,tick,channel,wordline,bitline,lrs_count,latency_ns,"
+    "queue_depth\n";
+
+/** v1/v2 file header size: magic + u32 version + u32 count/capacity. */
+inline constexpr std::size_t traceFileHeaderBytes = 16;
+
+/** v2 chunk header: magic + u32 record count + u32 payload CRC. */
+inline constexpr std::size_t traceChunkHeaderBytes = 12;
+
+/** v2 fixed footer prefix: magic + u32 chunk count + u64 total. */
+inline constexpr std::size_t traceFooterPrefixBytes = 16;
+
+/** v2 per-chunk index entry: u64 offset + u32 count + u32 CRC. */
+inline constexpr std::size_t traceIndexEntryBytes = 16;
+
+/** v2 trailer: u64 footer offset + end magic. */
+inline constexpr std::size_t traceTrailerBytes = 16;
+
+} // namespace ladder
+
+#endif // LADDER_CTRL_TRACE_WIRE_HH

@@ -6,7 +6,9 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <future>
+#include <memory>
 #include <mutex>
 
 #include "common/log.hh"
@@ -78,19 +80,41 @@ makeSystemConfig(SchemeKind scheme, const std::string &workload,
     return sys;
 }
 
+std::unique_ptr<WriteTraceSink>
+makeTraceSink(SchemeKind scheme, const std::string &workload,
+              const ExperimentConfig &config)
+{
+    if (config.traceOutDir.empty())
+        return nullptr;
+    if (!config.traceStream)
+        return std::make_unique<WriteTraceSink>();
+    // Streaming mode opens the (unique, per-cell) output file up
+    // front and flushes chunks while the run executes.
+    std::filesystem::path path =
+        traceFilePath(config, scheme, workload);
+    std::filesystem::create_directories(path.parent_path());
+    TraceStreamOptions options;
+    options.chunkRecords =
+        static_cast<std::size_t>(config.traceChunkRecords);
+    return std::make_unique<WriteTraceSink>(
+        path.string(), traceFormatFromName(config.traceFormat),
+        options);
+}
+
 SimResult
 runOne(SchemeKind scheme, const std::string &workload,
        const ExperimentConfig &config)
 {
     System system(makeSystemConfig(scheme, workload, config));
-    WriteTraceSink trace;
-    const bool tracing = !config.traceOutDir.empty();
-    if (tracing)
-        system.attachTraceSink(&trace);
+    std::unique_ptr<WriteTraceSink> trace =
+        makeTraceSink(scheme, workload, config);
+    if (trace)
+        system.attachTraceSink(trace.get());
     SimResult result =
         system.run(config.warmupInstr, config.measureInstr);
-    exportRun(config, scheme, workload, system, result,
-              tracing ? &trace : nullptr);
+    if (trace)
+        trace->finish();
+    exportRun(config, scheme, workload, system, result, trace.get());
     return result;
 }
 

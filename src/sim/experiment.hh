@@ -9,6 +9,7 @@
 #define LADDER_SIM_EXPERIMENT_HH
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -51,7 +52,19 @@ struct ExperimentConfig
      * trace to `<traceOutDir>/<scheme>__<workload>/trace.<ext>`.
      */
     std::string traceOutDir;
-    std::string traceFormat = "csv"; //!< "csv" or "bin"
+    std::string traceFormat = "csv"; //!< "csv", "bin" (v1), "bin2"
+    /**
+     * Stream each run's trace to disk *while it executes* through a
+     * bounded queue and a background writer thread, instead of
+     * buffering every record until the end: peak trace memory becomes
+     * O(traceChunkRecords) regardless of run length, and the emitted
+     * bytes are identical to the buffered serialization. Requires
+     * traceFormat "csv" or "bin2" (the v1 header needs the total
+     * record count up front).
+     */
+    bool traceStream = false;
+    /** Records per chunk for streaming and the "bin2" format. */
+    std::uint64_t traceChunkRecords = 64 * 1024;
     /** Core cycles per stat snapshot (0 = no epoch series). */
     std::uint64_t epochCycles = 0;
     /**
@@ -75,6 +88,18 @@ std::vector<std::string> workloadPrograms(const std::string &name);
 SystemConfig makeSystemConfig(SchemeKind scheme,
                               const std::string &workload,
                               const ExperimentConfig &config);
+
+/**
+ * Build the per-run trace sink for one (scheme, workload) cell:
+ * nullptr when tracing is off, a buffered sink (serialized by
+ * exportRun after the run) by default, or — with config.traceStream —
+ * a streaming sink that flushes chunks to the unique per-cell trace
+ * path while the run executes. Callers owning the run loop must call
+ * finish() on a streaming sink before exportRun.
+ */
+std::unique_ptr<WriteTraceSink>
+makeTraceSink(SchemeKind scheme, const std::string &workload,
+              const ExperimentConfig &config);
 
 /** Build, warm up, and measure one run. */
 SimResult runOne(SchemeKind scheme, const std::string &workload,

@@ -1,6 +1,8 @@
 #include "stats_export.hh"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
 #include <filesystem>
 #include <fstream>
@@ -83,6 +85,10 @@ const std::string &
 gitDescribeString()
 {
     static const std::string described = []() -> std::string {
+        // Env override pins the manifest for byte-exact golden runs,
+        // where `git describe` would drift with every commit.
+        if (const char *env = std::getenv("LADDER_GIT_DESCRIBE"))
+            return env;
         std::FILE *pipe =
             ::popen("git describe --always --dirty 2>/dev/null", "r");
         if (!pipe)
@@ -103,9 +109,40 @@ gitDescribeString()
 }
 
 std::string
+sanitizePathComponent(const std::string &component)
+{
+    static const char hex[] = "0123456789ABCDEF";
+    std::string out;
+    out.reserve(component.size());
+    for (unsigned char c : component) {
+        if (std::isalnum(c) || c == '-' || c == '_' || c == '.') {
+            out.push_back(static_cast<char>(c));
+        } else {
+            // Percent-encoding is injective, so sanitized names of
+            // distinct cells can never collide on disk.
+            out.push_back('%');
+            out.push_back(hex[c >> 4]);
+            out.push_back(hex[c & 0xF]);
+        }
+    }
+    return out;
+}
+
+std::string
 runDirName(SchemeKind scheme, const std::string &workload)
 {
-    return schemeKindName(scheme) + "__" + workload;
+    return sanitizePathComponent(schemeKindName(scheme)) + "__" +
+           sanitizePathComponent(workload);
+}
+
+std::filesystem::path
+traceFilePath(const ExperimentConfig &config, SchemeKind scheme,
+              const std::string &workload)
+{
+    TraceFormat format = traceFormatFromName(config.traceFormat);
+    return std::filesystem::path(config.traceOutDir) /
+           runDirName(scheme, workload) /
+           ("trace." + traceFormatExtension(format));
 }
 
 RunManifest
@@ -223,22 +260,36 @@ exportRun(const ExperimentConfig &config, SchemeKind scheme,
     }
 
     if (!config.traceOutDir.empty() && trace) {
-        ladder_assert(config.traceFormat == "csv" ||
-                          config.traceFormat == "bin",
-                      "trace-format must be 'csv' or 'bin', got '%s'",
-                      config.traceFormat.c_str());
-        std::filesystem::path dir =
-            ensureRunDir(config.traceOutDir, run);
-        if (config.traceFormat == "bin") {
-            std::ofstream os(dir / "trace.bin", std::ios::binary);
-            ladder_assert(os.good(), "cannot write %s",
-                          (dir / "trace.bin").string().c_str());
-            trace->writeBinary(os);
+        if (trace->streaming()) {
+            // Streamed incrementally during the run; runOne already
+            // called finish(), so the file on disk is complete.
+            ladder_assert(
+                trace->path() ==
+                    traceFilePath(config, scheme, workload).string(),
+                "streaming trace path drifted from the canonical "
+                "per-cell path");
         } else {
-            std::ofstream os(dir / "trace.csv");
+            TraceFormat format =
+                traceFormatFromName(config.traceFormat);
+            std::filesystem::path path =
+                traceFilePath(config, scheme, workload);
+            std::filesystem::create_directories(path.parent_path());
+            std::ofstream os(path, std::ios::binary);
             ladder_assert(os.good(), "cannot write %s",
-                          (dir / "trace.csv").string().c_str());
-            trace->writeCsv(os);
+                          path.string().c_str());
+            switch (format) {
+            case TraceFormat::Csv:
+                trace->writeCsv(os);
+                break;
+            case TraceFormat::BinaryV1:
+                trace->writeBinary(os);
+                break;
+            case TraceFormat::BinaryV2:
+                trace->writeBinaryV2(
+                    os, static_cast<std::size_t>(
+                            config.traceChunkRecords));
+                break;
+            }
         }
     }
 }

@@ -15,6 +15,7 @@
 #ifndef LADDER_SIM_STATS_EXPORT_HH
 #define LADDER_SIM_STATS_EXPORT_HH
 
+#include <filesystem>
 #include <string>
 
 #include "ctrl/trace_sink.hh"
@@ -49,12 +50,34 @@ struct RunManifest
 /**
  * `git describe --always --dirty` for the repository containing the
  * working directory, computed once per process ("unknown" when git or
- * the repository is unavailable).
+ * the repository is unavailable). The LADDER_GIT_DESCRIBE environment
+ * variable overrides the probe — golden-run tests pin it so committed
+ * reference outputs stay byte-exact across commits.
  */
 const std::string &gitDescribeString();
 
+/**
+ * Injectively sanitize one path component: alphanumerics and `-_.`
+ * pass through, every other byte is percent-encoded (`%2F` for '/'),
+ * so two distinct inputs can never collide on disk. Applied to the
+ * scheme and workload halves of every run directory name.
+ */
+std::string sanitizePathComponent(const std::string &component);
+
 /** Canonical per-run directory name: `<scheme>__<workload>`. */
 std::string runDirName(SchemeKind scheme, const std::string &workload);
+
+/**
+ * The unique per-cell trace file path
+ * `<config.traceOutDir>/<scheme>__<workload>/trace.<csv|bin>`
+ * (extension from config.traceFormat). Pure derivation — directories
+ * are not created. Distinct (scheme, workload) cells always map to
+ * distinct paths, so parallel sweep cells can stream traces
+ * concurrently without colliding (gated by test_parallel_determinism).
+ */
+std::filesystem::path traceFilePath(const ExperimentConfig &config,
+                                    SchemeKind scheme,
+                                    const std::string &workload);
 
 /** Build the manifest for one (scheme, workload) cell. */
 RunManifest makeRunManifest(SchemeKind scheme,

@@ -45,10 +45,10 @@ System::System(const SystemConfig &config) : config_(config)
         controllers_.push_back(std::make_unique<MemoryController>(
             events_, config_.controller, config_.geometry, ch,
             *store_, *timing_, scheme_));
-        ctrlStatGroups_.emplace_back("ctrl" + std::to_string(ch));
+        statGroups_.emplace_back("ctrl" + std::to_string(ch));
     }
     for (unsigned ch = 0; ch < controllers_.size(); ++ch)
-        controllers_[ch]->regStats(ctrlStatGroups_[ch]);
+        controllers_[ch]->regStats(statGroups_[ch]);
 
     HierarchyParams cacheParams = config_.caches;
     cacheParams.cores =
@@ -140,6 +140,21 @@ System::System(const SystemConfig &config) : config_(config)
             });
         }
     }
+
+    // Core and cache groups follow the controller groups, so the
+    // controller stats keep their historical epoch-vector positions.
+    for (unsigned c = 0; c < cores_.size(); ++c) {
+        statGroups_.emplace_back("core" + std::to_string(c));
+        cores_[c]->regStats(statGroups_.back());
+    }
+    for (unsigned c = 0; c < cores_.size(); ++c) {
+        statGroups_.emplace_back("cache" + std::to_string(c));
+        StatGroup &group = statGroups_.back();
+        hierarchy_->l1(c).regStats(group, "l1_");
+        hierarchy_->l2(c).regStats(group, "l2_");
+    }
+    statGroups_.emplace_back("l3");
+    hierarchy_->l3().regStats(statGroups_.back());
 }
 
 MemoryController &
@@ -178,7 +193,7 @@ System::captureEpoch(Tick when)
     EpochSnapshot snap;
     snap.tick = when;
     snap.values.reserve(epochNames_.size());
-    for (const auto &group : ctrlStatGroups_) {
+    for (const auto &group : statGroups_) {
         group.visit([&](const std::string &, double v) {
             snap.values.push_back(v);
         });
@@ -206,7 +221,7 @@ System::scheduleEpochSnapshot(Tick when, Tick epochTicks,
 void
 System::resetStats()
 {
-    for (auto &group : ctrlStatGroups_)
+    for (auto &group : statGroups_)
         group.resetAll();
     for (auto &ctrl : controllers_) {
         ctrl->metadataCache().hits.reset();
@@ -269,7 +284,7 @@ System::run(std::uint64_t warmupInstr, std::uint64_t measureInstr)
         // Names are fixed up front so they are available (and the
         // series arity is pinned) even when the window is shorter
         // than one epoch.
-        for (const auto &group : ctrlStatGroups_) {
+        for (const auto &group : statGroups_) {
             group.visit([&](const std::string &name, double) {
                 epochNames_.push_back(name);
             });
@@ -346,7 +361,7 @@ System::run(std::uint64_t warmupInstr, std::uint64_t measureInstr)
 void
 System::dumpStats(std::ostream &os)
 {
-    for (auto &group : ctrlStatGroups_)
+    for (auto &group : statGroups_)
         group.dump(os);
 }
 

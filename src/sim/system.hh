@@ -59,9 +59,10 @@ struct SystemConfig
     bool paperScale = false;
     /**
      * Core-clock cycles between periodic stat snapshots during the
-     * measured window (0 = no epoch time series). Snapshots capture
-     * every controller scalar/average as a flat value vector; see
-     * epochNames() / epochs().
+     * measured window (0 = no epoch time series). Each snapshot
+     * flattens every registered stat group — controllers, cores, and
+     * the cache hierarchy — into one value vector sampled at the same
+     * tick; see epochNames() / epochs().
      */
     std::uint64_t epochCycles = 0;
 };
@@ -136,10 +137,16 @@ class System
     /** Dump all statistics. */
     void dumpStats(std::ostream &os);
 
-    /** Per-controller stat groups (for structured export). */
+    /**
+     * Every stat group, in fixed registration order: controllers
+     * first (ctrl0..), then cores (core0..), then the cache hierarchy
+     * (cache<i> folding each core's private L1/L2, then the shared
+     * l3). Epoch snapshots flatten the same order, so controller
+     * epoch names keep their historical positions.
+     */
     const std::vector<StatGroup> &statGroups() const
     {
-        return ctrlStatGroups_;
+        return statGroups_;
     }
 
     /** Flattened stat names sampled by epoch snapshots. */
@@ -164,7 +171,7 @@ class System
     std::vector<std::unique_ptr<MemoryController>> controllers_;
     std::unique_ptr<CacheHierarchy> hierarchy_;
     std::vector<std::unique_ptr<Core>> cores_;
-    std::vector<StatGroup> ctrlStatGroups_;
+    std::vector<StatGroup> statGroups_;
     AddressRemapper *remapper_ = nullptr;
     WriteTraceSink *traceSink_ = nullptr;
     std::vector<std::string> epochNames_;

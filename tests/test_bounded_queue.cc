@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the bounded blocking queue backing the streaming
+ * trace sink: FIFO order, capacity-limited backpressure, close()
+ * draining semantics, and multi-producer stress.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.hh"
+
+namespace ladder
+{
+namespace
+{
+
+TEST(BoundedQueue, FifoOrderSingleThread)
+{
+    BoundedQueue<int> q(4);
+    EXPECT_EQ(q.capacity(), 4u);
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    EXPECT_TRUE(q.push(3));
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_EQ(q.pop().value(), 2);
+    EXPECT_EQ(q.pop().value(), 3);
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, CloseDrainsThenReturnsEmpty)
+{
+    BoundedQueue<int> q(4);
+    q.push(7);
+    q.push(8);
+    q.close();
+    EXPECT_TRUE(q.closed());
+    // Already-queued items still come out in order...
+    EXPECT_EQ(q.pop().value(), 7);
+    EXPECT_EQ(q.pop().value(), 8);
+    // ...then pop reports end-of-stream instead of blocking.
+    EXPECT_FALSE(q.pop().has_value());
+    // Pushing after close is refused.
+    EXPECT_FALSE(q.push(9));
+}
+
+TEST(BoundedQueue, PushBlocksUntilConsumerFreesASlot)
+{
+    BoundedQueue<int> q(1);
+    ASSERT_TRUE(q.push(1));
+    std::atomic<bool> pushed{false};
+    std::thread producer([&]() {
+        // Queue is full: this must block until the pop below.
+        q.push(2);
+        pushed = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(pushed.load());
+    EXPECT_EQ(q.pop().value(), 1);
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+    EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducer)
+{
+    BoundedQueue<int> q(1);
+    ASSERT_TRUE(q.push(1));
+    std::atomic<bool> refused{false};
+    std::thread producer([&]() {
+        refused = !q.push(2);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+    producer.join();
+    EXPECT_TRUE(refused.load());
+}
+
+TEST(BoundedQueue, MultiProducerStressDeliversEverything)
+{
+    constexpr unsigned producers = 4;
+    constexpr std::uint64_t perProducer = 5'000;
+    BoundedQueue<std::uint64_t> q(8);
+    std::vector<std::thread> threads;
+    for (unsigned p = 0; p < producers; ++p) {
+        threads.emplace_back([&q, p]() {
+            for (std::uint64_t i = 0; i < perProducer; ++i)
+                ASSERT_TRUE(q.push(p * perProducer + i));
+        });
+    }
+    std::uint64_t sum = 0, count = 0;
+    std::thread consumer([&]() {
+        while (auto v = q.pop()) {
+            sum += *v;
+            ++count;
+        }
+    });
+    for (auto &t : threads)
+        t.join();
+    q.close();
+    consumer.join();
+    const std::uint64_t total = producers * perProducer;
+    EXPECT_EQ(count, total);
+    EXPECT_EQ(sum, total * (total - 1) / 2);
+    EXPECT_EQ(q.size(), 0u);
+}
+
+} // namespace
+} // namespace ladder

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Golden end-to-end regression gate: one tiny fixed (Baseline x lbm)
+ * run's stats.json and v2 binary trace must match the committed
+ * reference bytes under tests/golden/ exactly. Any change to the
+ * simulator's observable behaviour — event ordering, timing, stat
+ * arithmetic, serialization — fails this test loudly instead of
+ * drifting silently.
+ *
+ * When a change is *intentional*, regenerate the goldens with
+ *
+ *     LADDER_GOLDEN_REGEN=1 ./build/tests/test_golden_run
+ *
+ * and commit the rewritten files together with the change that
+ * explains them (see tests/golden/README.md).
+ *
+ * Determinism notes: this test runs in its own binary so the
+ * process-wide solver instrumentation and memoized timing tables see
+ * a fixed call sequence, and LADDER_GIT_DESCRIBE is pinned before any
+ * test code runs so the manifest does not change with every commit.
+ * Volatile manifest fields are off by default. The reference bytes
+ * are produced by the repository's CI toolchain; a different
+ * compiler's floating-point contraction choices may legitimately
+ * require regeneration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "sim/stats_export.hh"
+
+#ifndef LADDER_GOLDEN_DIR
+#error "LADDER_GOLDEN_DIR must point at the committed golden files"
+#endif
+
+namespace fs = std::filesystem;
+
+namespace ladder
+{
+namespace
+{
+
+/**
+ * Pin the manifest's git_describe before the first call can memoize
+ * the real `git describe` output (gitDescribeString caches under a
+ * magic static, so this must run before any test body).
+ */
+const bool pinnedDescribe = []() {
+    ::setenv("LADDER_GIT_DESCRIBE", "golden", /*overwrite=*/1);
+    return true;
+}();
+
+ExperimentConfig
+goldenConfig(const fs::path &outDir)
+{
+    ExperimentConfig cfg;
+    // Deliberately NOT defaultExperimentConfig(): the golden window
+    // must not scale with LADDER_BENCH_SCALE.
+    cfg.warmupInstr = 60'000;
+    cfg.measureInstr = 20'000;
+    cfg.cacheScale = 1.0 / 16.0;
+    cfg.epochCycles = 10'000;
+    cfg.statsJsonDir = (outDir / "stats").string();
+    cfg.traceOutDir = (outDir / "trace").string();
+    cfg.traceFormat = "bin2";
+    cfg.traceChunkRecords = 512;
+    return cfg;
+}
+
+std::string
+slurp(const fs::path &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is.good())
+        return {};
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+TEST(GoldenRun, BaselineLbmMatchesCommittedBytes)
+{
+    ASSERT_TRUE(pinnedDescribe);
+    const fs::path goldenDir = fs::path(LADDER_GOLDEN_DIR) /
+                               "baseline__lbm";
+    const fs::path outDir =
+        fs::path(::testing::TempDir()) / "ladder_golden";
+    fs::remove_all(outDir);
+
+    ExperimentConfig cfg = goldenConfig(outDir);
+    runOne(SchemeKind::Baseline, "lbm", cfg);
+
+    const fs::path statsOut =
+        fs::path(cfg.statsJsonDir) / "baseline__lbm" / "stats.json";
+    const fs::path traceOut =
+        fs::path(cfg.traceOutDir) / "baseline__lbm" / "trace.bin";
+    std::string stats = slurp(statsOut);
+    std::string trace = slurp(traceOut);
+    ASSERT_FALSE(stats.empty()) << statsOut;
+    ASSERT_FALSE(trace.empty()) << traceOut;
+
+    if (std::getenv("LADDER_GOLDEN_REGEN")) {
+        fs::create_directories(goldenDir);
+        fs::copy_file(statsOut, goldenDir / "stats.json",
+                      fs::copy_options::overwrite_existing);
+        fs::copy_file(traceOut, goldenDir / "trace.bin",
+                      fs::copy_options::overwrite_existing);
+        GTEST_SKIP() << "regenerated goldens in " << goldenDir;
+    }
+
+    std::string goldenStats = slurp(goldenDir / "stats.json");
+    std::string goldenTrace = slurp(goldenDir / "trace.bin");
+    ASSERT_FALSE(goldenStats.empty())
+        << "missing golden " << (goldenDir / "stats.json")
+        << " — regenerate with LADDER_GOLDEN_REGEN=1";
+    ASSERT_FALSE(goldenTrace.empty())
+        << "missing golden " << (goldenDir / "trace.bin");
+
+    EXPECT_TRUE(stats == goldenStats)
+        << "stats.json drifted from the golden run (" << stats.size()
+        << " vs " << goldenStats.size()
+        << " bytes). If the change is intentional, regenerate: "
+           "LADDER_GOLDEN_REGEN=1 ./build/tests/test_golden_run";
+    EXPECT_TRUE(trace == goldenTrace)
+        << "trace.bin drifted from the golden run (" << trace.size()
+        << " vs " << goldenTrace.size()
+        << " bytes). If the change is intentional, regenerate: "
+           "LADDER_GOLDEN_REGEN=1 ./build/tests/test_golden_run";
+
+    // The run is also reproducible within this process: a second
+    // identical run must produce the same bytes, or the golden gate
+    // would flake rather than catch drift.
+    const fs::path outDir2 =
+        fs::path(::testing::TempDir()) / "ladder_golden2";
+    fs::remove_all(outDir2);
+    ExperimentConfig cfg2 = goldenConfig(outDir2);
+    runOne(SchemeKind::Baseline, "lbm", cfg2);
+    EXPECT_EQ(stats, slurp(fs::path(cfg2.statsJsonDir) /
+                           "baseline__lbm" / "stats.json"));
+    EXPECT_EQ(trace, slurp(fs::path(cfg2.traceOutDir) /
+                           "baseline__lbm" / "trace.bin"));
+
+    fs::remove_all(outDir);
+    fs::remove_all(outDir2);
+}
+
+} // namespace
+} // namespace ladder

@@ -12,8 +12,11 @@
 
 #include <cstdint>
 #include <cstring>
+#include <set>
+#include <string>
 
 #include "sim/experiment.hh"
+#include "sim/stats_export.hh"
 
 namespace ladder
 {
@@ -109,6 +112,45 @@ TEST(ParallelDeterminism, SerialAndParallelSweepsAreBitIdentical)
                                parallel.at(kind, workload));
         }
     }
+}
+
+TEST(ParallelDeterminism, NoTwoCellsShareATraceFilePath)
+{
+    // Parallel sweep cells stream traces concurrently, so two cells
+    // mapping to the same file would corrupt each other. The path
+    // derivation must be injective over (scheme, workload) — even for
+    // adversarial workload names that sanitize near each other.
+    ExperimentConfig cfg = quickConfig(8);
+    cfg.traceOutDir = "traces";
+    cfg.traceFormat = "bin2";
+    const std::vector<std::string> workloads = {
+        "lbm",   "mix-1", "a/b",  "a_b",  "a%2Fb",
+        "a%b",   "a.b",   "A/B",  "..",   "trace.bin",
+    };
+    std::set<std::string> paths;
+    for (SchemeKind kind : allSchemeKinds()) {
+        for (const auto &workload : workloads) {
+            std::string path =
+                traceFilePath(cfg, kind, workload).string();
+            EXPECT_TRUE(paths.insert(path).second)
+                << "trace path collision on " << path << " ("
+                << schemeKindName(kind) << " / " << workload << ")";
+        }
+    }
+    EXPECT_EQ(paths.size(),
+              allSchemeKinds().size() * workloads.size());
+
+    // Sanitized run directories are always a single path component
+    // (the scheme prefix additionally guarantees none can ever be a
+    // bare "." or ".." traversal).
+    for (const auto &workload : workloads) {
+        std::string dir = runDirName(SchemeKind::Baseline, workload);
+        EXPECT_EQ(dir.find('/'), std::string::npos) << dir;
+        EXPECT_EQ(dir.find('\\'), std::string::npos) << dir;
+    }
+    // Plain names keep their historical readable form.
+    EXPECT_EQ(runDirName(SchemeKind::Baseline, "mix-1"),
+              schemeKindName(SchemeKind::Baseline) + "__mix-1");
 }
 
 TEST(ParallelDeterminism, RepeatedParallelSweepsAreBitIdentical)
