@@ -1,25 +1,31 @@
 /**
  * @file
- * Shared machinery for the figure-reproduction benches: parse the
- * common arguments, run a (scheme x workload) matrix in parallel via
- * runMatrixParallel, and normalize against the baseline, the way the
- * paper's evaluation plots do.
+ * Shared machinery for the figure-reproduction benches: resolve the
+ * layered configuration through the typed parameter registry, run a
+ * (scheme x workload) matrix in parallel via runMatrixParallel, and
+ * normalize against the baseline, the way the paper's evaluation
+ * plots do.
  *
- * Every bench accepts optional key=value arguments:
- *   workloads=astar,lbm,...   subset of workloads
- *   measure=<instructions>    measured window per core
- *   warmup=<instructions>     functional warmup per core
- *   jobs=<N>                  parallel sweep jobs (0 = one per
- *                             hardware thread, 1 = serial)
- *   stats-json=<dir>          write per-run stats.json + sweep.json
- *   epoch-cycles=<N>          core cycles per stat snapshot (0 = off)
- *   trace-out=<dir>           write per-run write/read event traces
- *   trace-format=csv|bin|bin2 trace encoding (default csv)
- *   trace-stream=1            stream traces to disk during the run
- *                             (bounded memory; csv/bin2 only)
- *   trace-chunk=<records>     records per streamed/bin2 chunk
- *   volatile-manifest=1       include wall clock + jobs in manifests
- * and honours LADDER_BENCH_SCALE (multiplies both windows).
+ * Every bench resolves its arguments through sim/config_resolve with
+ * strict precedence
+ *
+ *     compiled defaults < config=<file>.json < sweep=<file> "params"
+ *                       < CLI key=value (argv order)
+ *
+ * plus the selections/flags:
+ *   config=<file>.json        flat JSON object of registry params
+ *   sweep=<file>.json         {"schemes":[...], "workloads":[...],
+ *                              "params":{...}} — the cell grid as data
+ *   scheme[s]=a,b / workload[s]=x,y   CSV selections (override the
+ *                             sweep spec's lists)
+ *   --help-config             list every parameter with type, current
+ *                             value, doc, and range; exit
+ *   --dump-config             print the effective config as loadable
+ *                             JSON; exit
+ * Unknown keys, malformed values, and out-of-range values are hard
+ * errors with near-miss suggestions. LADDER_BENCH_SCALE still
+ * multiplies the default windows (it shapes the compiled defaults,
+ * the lowest layer).
  */
 
 #ifndef LADDER_BENCH_BENCH_COMMON_HH
@@ -27,56 +33,102 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <iostream>
 #include <limits>
 #include <string>
 #include <vector>
 
-#include "common/config.hh"
+#include "common/log.hh"
+#include "sim/config_resolve.hh"
 #include "sim/experiment.hh"
 #include "trace/workloads.hh"
 
 namespace ladder
 {
 
-/** Parse common bench arguments into the experiment config. */
-inline std::vector<std::string>
-parseBenchArgs(int argc, char **argv, ExperimentConfig &cfg)
+/** One bench invocation's resolved selections. */
+struct BenchArgs
 {
-    Config config;
-    config.parseArgs(argc, argv);
-    cfg.measureInstr = static_cast<std::uint64_t>(config.getInt(
-        "measure", static_cast<std::int64_t>(cfg.measureInstr)));
-    cfg.warmupInstr = static_cast<std::uint64_t>(config.getInt(
-        "warmup", static_cast<std::int64_t>(cfg.warmupInstr)));
-    cfg.seed = static_cast<std::uint64_t>(
-        config.getInt("seed", static_cast<std::int64_t>(cfg.seed)));
-    cfg.jobs = static_cast<unsigned>(config.getInt(
-        "jobs", static_cast<std::int64_t>(cfg.jobs)));
-    cfg.statsJsonDir = config.getString("stats-json", cfg.statsJsonDir);
-    cfg.traceOutDir = config.getString("trace-out", cfg.traceOutDir);
-    cfg.traceFormat =
-        config.getString("trace-format", cfg.traceFormat);
-    cfg.traceStream = config.getBool("trace-stream", cfg.traceStream);
-    cfg.traceChunkRecords = static_cast<std::uint64_t>(config.getInt(
-        "trace-chunk",
-        static_cast<std::int64_t>(cfg.traceChunkRecords)));
-    cfg.epochCycles = static_cast<std::uint64_t>(config.getInt(
-        "epoch-cycles", static_cast<std::int64_t>(cfg.epochCycles)));
-    cfg.volatileManifest =
-        config.getBool("volatile-manifest", cfg.volatileManifest);
-    std::string workloads = config.getString("workloads", "");
-    std::vector<std::string> names;
-    if (workloads.empty())
-        return allWorkloadNames();
-    std::size_t pos = 0;
-    while (pos < workloads.size()) {
-        std::size_t comma = workloads.find(',', pos);
-        if (comma == std::string::npos)
-            comma = workloads.size();
-        names.push_back(workloads.substr(pos, comma - pos));
-        pos = comma + 1;
+    std::vector<std::string> workloads;
+    std::vector<SchemeKind> schemes;
+    /** Whether the user picked them (vs. the bench's defaults). */
+    bool workloadsExplicit = false;
+    bool schemesExplicit = false;
+};
+
+/**
+ * Resolve the common bench arguments into @p cfg through the layered
+ * registry resolver. Handles --help-config/--dump-config (print and
+ * exit). Empty @p defaultWorkloads means all workloads; empty
+ * @p defaultSchemes means the paper's seven evaluated schemes.
+ */
+inline BenchArgs
+parseBenchArgs(int argc, char **argv, ExperimentConfig &cfg,
+               std::vector<std::string> defaultWorkloads = {},
+               std::vector<SchemeKind> defaultSchemes = {})
+{
+    ResolvedExperiment resolved =
+        resolveExperiment(argc, argv, cfg);
+    if (resolved.helpRequested) {
+        std::cout << "parameters (key=value; also loadable from "
+                     "config= JSON):\n";
+        experimentRegistry().help(std::cout, resolved.config);
+        std::exit(0);
     }
-    return names;
+    if (resolved.dumpRequested) {
+        dumpEffectiveConfig(resolved.config, std::cout);
+        std::exit(0);
+    }
+    cfg = resolved.config;
+    BenchArgs args;
+    args.workloadsExplicit = resolved.workloadsExplicit;
+    args.schemesExplicit = resolved.schemesExplicit;
+    args.workloads = resolved.workloadsExplicit
+                         ? resolved.workloads
+                         : (defaultWorkloads.empty()
+                                ? allWorkloadNames()
+                                : std::move(defaultWorkloads));
+    args.schemes = resolved.schemesExplicit
+                       ? resolved.schemes
+                       : (defaultSchemes.empty()
+                              ? allSchemeKinds()
+                              : std::move(defaultSchemes));
+    return args;
+}
+
+/**
+ * Benches that normalize against a reference scheme need it in the
+ * sweep: fatal() when an explicit scheme= selection dropped it.
+ */
+inline void
+requireScheme(const BenchArgs &args, SchemeKind kind, const char *why)
+{
+    for (SchemeKind s : args.schemes) {
+        if (s == kind)
+            return;
+    }
+    fatal("scheme selection must include '%s' (%s)",
+          schemeKindName(kind).c_str(), why);
+}
+
+/** Benches with a fixed scheme set reject scheme= overrides. */
+inline void
+rejectSchemeOverride(const BenchArgs &args, const char *why)
+{
+    if (args.schemesExplicit)
+        fatal("this bench runs a fixed scheme set (%s); drop scheme=",
+              why);
+}
+
+/** Benches without a (scheme x workload) sweep reject selections. */
+inline void
+rejectSweepSelection(const BenchArgs &args, const char *why)
+{
+    if (args.schemesExplicit || args.workloadsExplicit)
+        fatal("this bench has no scheme/workload sweep (%s); drop "
+              "scheme=/workload=",
+              why);
 }
 
 /**

@@ -17,14 +17,17 @@ int
 main(int argc, char **argv)
 {
     ExperimentConfig cfg = defaultExperimentConfig();
-    parseBenchArgs(argc, argv, cfg);
+    BenchArgs args = parseBenchArgs(
+        argc, argv, cfg, singleWorkloadNames(),
+        {SchemeKind::Baseline, SchemeKind::Location,
+         SchemeKind::Oracle});
+    requireScheme(args, SchemeKind::Baseline,
+                  "IPC is normalized to the worst-case baseline");
 
     std::printf("=== Figure 2: potential of content/location-aware "
                 "writes (normalized IPC) ===\n\n");
     Matrix matrix =
-        runMatrixParallel({SchemeKind::Baseline, SchemeKind::Location,
-                   SchemeKind::Oracle},
-                  singleWorkloadNames(), cfg);
+        runMatrixParallel(args.schemes, args.workloads, cfg);
 
     printNormalizedTable(matrix, SchemeKind::Baseline,
                          [](const SimResult &r) { return r.ipc; });

@@ -11,15 +11,21 @@
 
 #include <cstdio>
 
+#include "bench_common.hh"
 #include "circuit/fastmodel.hh"
 #include "reram/timing_tables.hh"
 
 using namespace ladder;
 
 int
-main()
+main(int argc, char **argv)
 {
-    CrossbarParams params;
+    ExperimentConfig cfg = defaultExperimentConfig();
+    BenchArgs args = parseBenchArgs(argc, argv, cfg);
+    rejectSweepSelection(
+        args, "the latency sweep uses one crossbar model");
+
+    const CrossbarParams &params = cfg.system.crossbar;
     std::printf("=== Table 1: ReRAM crossbar parameters ===\n");
     std::printf("  crossbar dimensions   %zux%zu\n", params.rows,
                 params.cols);

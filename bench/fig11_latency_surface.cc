@@ -5,15 +5,16 @@
  * all '0's (C_lrs bucket 0) and (b) all '1's (C_lrs bucket 7). These
  * are two of the eight 8x8 sub-tables the memory controller holds.
  *
- * Pass mna=1 to additionally cross-check a few surface corners with
- * the full MNA solver (slower).
+ * Pass mna=true to additionally cross-check a few surface corners
+ * with the full MNA solver (slower). The crossbar circuit is
+ * configurable through the registry's xbar.* parameters.
  */
 
 #include <cstdio>
-#include <cstring>
 #include <future>
 #include <vector>
 
+#include "bench_common.hh"
 #include "circuit/mna.hh"
 #include "common/thread_pool.hh"
 #include "reram/timing_tables.hh"
@@ -44,7 +45,12 @@ printSurface(const WriteTimingTable &table, unsigned contentBucket)
 int
 main(int argc, char **argv)
 {
-    CrossbarParams params;
+    ExperimentConfig cfg = defaultExperimentConfig();
+    BenchArgs args = parseBenchArgs(argc, argv, cfg);
+    rejectSweepSelection(
+        args, "the surfaces come from one crossbar model");
+
+    const CrossbarParams &params = cfg.system.crossbar;
     const TimingModel &model = cachedTimingModel(params);
 
     std::printf("=== Figure 11: RESET latency (ns) vs WL/BL location "
@@ -67,10 +73,7 @@ main(int argc, char **argv)
                 "the far corner, (b) reaches ~700 ns; both grow "
                 "monotonically away from the drivers\n");
 
-    bool checkMna = false;
-    for (int i = 1; i < argc; ++i)
-        checkMna |= std::strcmp(argv[i], "mna=1") == 0;
-    if (checkMna) {
+    if (cfg.checkMna) {
         std::printf("\n--- full-MNA spot checks (64x64 crossbar) "
                     "---\n");
         CrossbarParams small = params;

@@ -17,11 +17,15 @@ int
 main(int argc, char **argv)
 {
     ExperimentConfig cfg = defaultExperimentConfig();
-    auto workloads = parseBenchArgs(argc, argv, cfg);
+    BenchArgs args =
+        parseBenchArgs(argc, argv, cfg, {}, paperSchemes());
+    requireScheme(args, SchemeKind::Baseline,
+                  "read latency is normalized to the baseline");
 
     std::printf("=== Figure 13: normalized average read latency "
                 "===\n\n");
-    Matrix matrix = runMatrixParallel(paperSchemes(), workloads, cfg);
+    Matrix matrix =
+        runMatrixParallel(args.schemes, args.workloads, cfg);
     printNormalizedTable(matrix, SchemeKind::Baseline,
                          [](const SimResult &r) {
                              return r.avgReadLatencyNs;

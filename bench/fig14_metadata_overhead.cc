@@ -20,12 +20,12 @@ int
 main(int argc, char **argv)
 {
     ExperimentConfig cfg = defaultExperimentConfig();
-    auto workloads = parseBenchArgs(argc, argv, cfg);
-
-    std::vector<SchemeKind> schemes = {SchemeKind::LadderBasic,
-                                       SchemeKind::LadderEst,
-                                       SchemeKind::LadderHybrid};
-    Matrix matrix = runMatrixParallel(schemes, workloads, cfg);
+    BenchArgs args = parseBenchArgs(
+        argc, argv, cfg, {},
+        {SchemeKind::LadderBasic, SchemeKind::LadderEst,
+         SchemeKind::LadderHybrid});
+    Matrix matrix =
+        runMatrixParallel(args.schemes, args.workloads, cfg);
 
     std::printf("=== Figure 14a: additional reads due to metadata "
                 "maintenance (%% of demand reads) ===\n\n");

@@ -21,7 +21,10 @@ int
 main(int argc, char **argv)
 {
     ExperimentConfig cfg = defaultExperimentConfig();
-    auto workloads = parseBenchArgs(argc, argv, cfg);
+    BenchArgs args = parseBenchArgs(argc, argv, cfg);
+    rejectSchemeOverride(
+        args, "the diff needs exactly Basic/Est-noshift/Est");
+    const std::vector<std::string> &workloads = args.workloads;
 
     std::printf("=== Figure 15: LRS-counter difference, LADDER-Est - "
                 "LADDER-Basic ===\n\n");

@@ -23,7 +23,10 @@ int
 main(int argc, char **argv)
 {
     ExperimentConfig cfg = defaultExperimentConfig();
-    auto workloads = parseBenchArgs(argc, argv, cfg);
+    BenchArgs args =
+        parseBenchArgs(argc, argv, cfg, {}, paperSchemes());
+    requireScheme(args, SchemeKind::Baseline,
+                  "speedup is computed over the baseline");
 
     SystemConfig sys =
         makeSystemConfig(SchemeKind::Baseline, "astar", cfg);
@@ -57,7 +60,8 @@ main(int argc, char **argv)
 
     std::printf("=== Figure 16: speedup over baseline (weighted IPC "
                 "for mixes) ===\n\n");
-    Matrix matrix = runMatrixParallel(paperSchemes(), workloads, cfg);
+    Matrix matrix =
+        runMatrixParallel(args.schemes, args.workloads, cfg);
 
     std::vector<std::string> columns;
     for (SchemeKind kind : matrix.schemes)

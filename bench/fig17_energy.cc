@@ -16,9 +16,13 @@ int
 main(int argc, char **argv)
 {
     ExperimentConfig cfg = defaultExperimentConfig();
-    auto workloads = parseBenchArgs(argc, argv, cfg);
+    BenchArgs args =
+        parseBenchArgs(argc, argv, cfg, {}, paperSchemes());
+    requireScheme(args, SchemeKind::Baseline,
+                  "energy is normalized to the baseline");
 
-    Matrix matrix = runMatrixParallel(paperSchemes(), workloads, cfg);
+    Matrix matrix =
+        runMatrixParallel(args.schemes, args.workloads, cfg);
 
     std::printf("=== Figure 17: normalized dynamic memory energy "
                 "(read+write) ===\n\n");

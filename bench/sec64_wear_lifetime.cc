@@ -41,7 +41,7 @@ runWithWearLeveling(SchemeKind kind, const std::string &workload,
     AddressMap map(sys.geometry);
     // Level the data region at line granularity.
     std::uint64_t lines = map.totalPages() * 64 * 3 / 4;
-    StartGapRemapper remap(0, lines, 100);
+    StartGapRemapper remap(0, lines, cfg.wear.startGapPsi);
     if (leveled)
         system.setRemapper(&remap);
     Outcome out;
@@ -59,8 +59,10 @@ runWithWearLeveling(SchemeKind kind, const std::string &workload,
     // lifetime ratio between configurations reflects write volume,
     // not which pages (data vs metadata) happened to be touched.
     std::uint64_t leveledPages = map.totalPages() * 3 / 4;
-    out.lifetime = estimateLifetime(writes, seconds, leveledPages,
-                                    1e8, 0.5);
+    out.lifetime =
+        estimateLifetime(writes, seconds, leveledPages,
+                         cfg.wear.cellEndurance,
+                         cfg.wear.levelingEfficiency);
     return out;
 }
 
@@ -70,8 +72,14 @@ int
 main(int argc, char **argv)
 {
     ExperimentConfig cfg = defaultExperimentConfig();
-    parseBenchArgs(argc, argv, cfg);
-    const std::string workload = "lbm";
+    BenchArgs args = parseBenchArgs(argc, argv, cfg, {"lbm"});
+    rejectSchemeOverride(
+        args, "the study compares baseline vs LADDER-Hybrid");
+    if (args.workloads.size() != 1) {
+        fatal("this bench runs one workload at a time (got %zu)",
+              args.workloads.size());
+    }
+    const std::string workload = args.workloads.front();
 
     std::printf("=== Section 6.4: LADDER with wear-leveling (%s) "
                 "===\n\n",

@@ -16,8 +16,11 @@ int
 main(int argc, char **argv)
 {
     ExperimentConfig cfg = defaultExperimentConfig();
-    parseBenchArgs(argc, argv, cfg);
-    auto workloads = singleWorkloadNames();
+    BenchArgs args =
+        parseBenchArgs(argc, argv, cfg, singleWorkloadNames());
+    rejectSchemeOverride(
+        args, "the ablation compares baseline vs LADDER-Hybrid");
+    const std::vector<std::string> &workloads = args.workloads;
 
     std::printf("=== Section 7: 2x-shrunk RESET latency dynamic "
                 "range ===\n\n");

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_common.hh"
 #include "hwcost/hwcost.hh"
 #include "reram/timing_tables.hh"
 #include "schemes/metadata_layout.hh"
@@ -15,8 +16,13 @@
 using namespace ladder;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ExperimentConfig cfg = defaultExperimentConfig();
+    BenchArgs args = parseBenchArgs(argc, argv, cfg);
+    rejectSweepSelection(
+        args, "the overhead tables are workload-independent");
+
     std::printf("=== Table 4: hardware overhead of LADDER ===\n\n");
     std::printf("%-34s %12s %12s %12s\n", "module", "area (mm^2)",
                 "power (mW)", "latency (ns)");
@@ -27,18 +33,19 @@ main()
     std::printf("\npaper reference: update 0.0061/3.71/0.17, query "
                 "0.0047/6.57/0.32, cache 0.2442/48.83/0.81\n");
 
-    ModuleCost tables = timingTableCost(8);
+    ModuleCost tables = timingTableCost(cfg.granularity);
     std::printf("\n%-34s %12.4f %12.2f %12.2f\n", tables.name.c_str(),
                 tables.areaMm2, tables.powerMw, tables.latencyNs);
 
-    const TimingModel &model = cachedTimingModel(CrossbarParams{});
+    const TimingModel &model =
+        cachedTimingModel(cfg.system.crossbar);
     std::printf("\ntiming-table on-chip buffer: %zu B (paper: 512 B "
                 "for the 8x8x8 organization)\n",
                 model.ladder.storageBytes());
 
     std::printf("\n=== Section 6.3: LRS-metadata storage overhead "
                 "===\n\n");
-    MemoryGeometry geo;
+    const MemoryGeometry &geo = cfg.system.geometry;
     AddressMap map(geo);
     MetadataLayout layout(geo, map.totalPages() * 3 / 4);
     std::printf("  LADDER-Basic   %5.2f%%   (paper 3.12%%)\n",

@@ -46,7 +46,9 @@ int
 main(int argc, char **argv)
 {
     Config args;
-    args.parseArgs(argc, argv);
+    // Strict parse: unknown keys are rejected with a suggestion.
+    args.parseArgs(argc, argv,
+                   {"wl", "bl", "count", "granularity", "sweep"});
     unsigned wl = static_cast<unsigned>(args.getInt("wl", 256));
     unsigned bl = static_cast<unsigned>(args.getInt("bl", 256));
     unsigned count = static_cast<unsigned>(args.getInt("count", 128));

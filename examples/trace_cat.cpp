@@ -43,7 +43,10 @@ main(int argc, char **argv)
     }
     const std::string path = argv[1];
     Config args;
-    args.parseArgs(argc - 1, argv + 1);
+    // Strict parse: unknown keys are rejected with a suggestion.
+    args.parseArgs(argc - 1, argv + 1,
+                   {"mode", "kind", "channel", "min-tick", "max-tick",
+                    "limit", "chunk"});
     const std::string mode = args.getString("mode", "dump");
     const std::string kind = args.getString("kind", "");
     const std::int64_t channel = args.getInt("channel", -1);

@@ -5,12 +5,19 @@
  * line across physical slots, and compares lifetime estimates with
  * and without leveling.
  *
- *   ./wear_leveling_demo [workload=lbm] [psi=100]
+ *   ./wear_leveling_demo [workload=lbm] [wear.psi=100]
+ *                        [config=<file>.json] [key=value ...]
+ *
+ * Arguments resolve through the typed parameter registry (see
+ * --help-config); wear.psi sets the Start-Gap write interval and
+ * wear.endurance / wear.leveling-efficiency shape the lifetime
+ * estimate.
  */
 
 #include <cstdio>
+#include <iostream>
 
-#include "common/config.hh"
+#include "sim/config_resolve.hh"
 #include "sim/experiment.hh"
 #include "wear/lifetime.hh"
 #include "wear/start_gap.hh"
@@ -20,10 +27,24 @@ using namespace ladder;
 int
 main(int argc, char **argv)
 {
-    Config args;
-    args.parseArgs(argc, argv);
-    std::string workload = args.getString("workload", "lbm");
-    unsigned psi = static_cast<unsigned>(args.getInt("psi", 100));
+    ResolvedExperiment resolved =
+        resolveExperiment(argc, argv, defaultExperimentConfig());
+    if (resolved.helpRequested) {
+        std::cout << "parameters (key=value; also loadable from "
+                     "config= JSON):\n";
+        experimentRegistry().help(std::cout, resolved.config);
+        return 0;
+    }
+    if (resolved.dumpRequested) {
+        dumpEffectiveConfig(resolved.config, std::cout);
+        return 0;
+    }
+    if (resolved.workloads.size() > 1)
+        fatal("this demo runs one workload at a time");
+    std::string workload = resolved.workloadsExplicit
+                               ? resolved.workloads.front()
+                               : "lbm";
+    unsigned psi = resolved.config.wear.startGapPsi;
 
     // A small standalone illustration first: watch one logical line
     // migrate as the gap rotates.
@@ -43,7 +64,7 @@ main(int argc, char **argv)
     }
 
     // Now the full system with leveling on the data region.
-    ExperimentConfig cfg = defaultExperimentConfig();
+    const ExperimentConfig &cfg = resolved.config;
     SystemConfig sys =
         makeSystemConfig(SchemeKind::LadderHybrid, workload, cfg);
     System system(sys);
@@ -62,7 +83,9 @@ main(int argc, char **argv)
              system.controller(ch).pageWriteCounts())
             writes[entry.first] += entry.second;
     LifetimeEstimate est =
-        estimateLifetime(writes, r.elapsedNs * 1e-9);
+        estimateLifetime(writes, r.elapsedNs * 1e-9, 0,
+                         cfg.wear.cellEndurance,
+                         cfg.wear.levelingEfficiency);
 
     std::printf("\n--- results ---\n");
     std::printf("IPC                    %10.4f\n", r.ipc);

@@ -10,85 +10,57 @@
  * parallel through runMatrixParallel and print an IPC table instead
  * of the single-run details.
  *
- *   ./workload_sim [scheme=LADDER-Hybrid[,Baseline,...]]
+ *   ./workload_sim [config=<file>.json] [sweep=<file>.json]
+ *                  [scheme=LADDER-Hybrid[,baseline,...]]
  *                  [workload=mix-1[,astar,...]]
- *                  [warmup=1500000] [measure=400000] [stats=1]
- *                  [jobs=N]   (0 = one per hardware thread, 1 = serial)
- *                  [stats-json=<dir>] [epoch-cycles=<N>]
- *                  [trace-out=<dir>] [trace-format=csv|bin|bin2]
- *                  [trace-stream=1] [trace-chunk=<records>]
- *                  [volatile-manifest=1]
+ *                  [key=value ...] [--dump-config] [--help-config]
  *
- * stats-json= writes one stats.json per run (and sweep.json for
- * sweeps); trace-out= writes per-run measured-window event traces
- * (trace-stream=1 streams them to disk in bounded memory while the
- * run executes; csv/bin2 only); epoch-cycles= samples the controller,
- * core, and cache stats every N core cycles into the stats.json epoch
- * series. See EXPERIMENTS.md for the schema and wire formats.
+ * Arguments resolve through the typed parameter registry with strict
+ * precedence: compiled defaults < config= file < sweep= "params" <
+ * CLI key=value. --help-config lists every parameter (warmup,
+ * measure, jobs, stats-json, trace-out, epoch-cycles, and the full
+ * xbar. / ctrl. / cache. / core. / geom. architecture groups);
+ * stats=true dumps the full statistics tree after single runs. See
+ * EXPERIMENTS.md for the configuration spine and output schema.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "common/config.hh"
+#include "sim/config_resolve.hh"
 #include "sim/experiment.hh"
 #include "sim/stats_export.hh"
 
 using namespace ladder;
 
-namespace
-{
-
-std::vector<std::string>
-splitList(const std::string &csv)
-{
-    std::vector<std::string> items;
-    std::size_t pos = 0;
-    while (pos <= csv.size()) {
-        std::size_t comma = csv.find(',', pos);
-        if (comma == std::string::npos)
-            comma = csv.size();
-        if (comma > pos)
-            items.push_back(csv.substr(pos, comma - pos));
-        pos = comma + 1;
-    }
-    return items;
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
-    Config args;
-    args.parseArgs(argc, argv);
-    auto schemeNames =
-        splitList(args.getString("scheme", "LADDER-Hybrid"));
-    auto workloads = splitList(args.getString("workload", "mix-1"));
-
-    ExperimentConfig cfg = defaultExperimentConfig();
-    cfg.warmupInstr = static_cast<std::uint64_t>(args.getInt(
-        "warmup", static_cast<std::int64_t>(cfg.warmupInstr)));
-    cfg.measureInstr = static_cast<std::uint64_t>(args.getInt(
-        "measure", static_cast<std::int64_t>(cfg.measureInstr)));
-    cfg.jobs = static_cast<unsigned>(args.getInt("jobs", 0));
-    cfg.statsJsonDir = args.getString("stats-json", "");
-    cfg.traceOutDir = args.getString("trace-out", "");
-    cfg.traceFormat = args.getString("trace-format", cfg.traceFormat);
-    cfg.traceStream = args.getBool("trace-stream", cfg.traceStream);
-    cfg.traceChunkRecords = static_cast<std::uint64_t>(args.getInt(
-        "trace-chunk",
-        static_cast<std::int64_t>(cfg.traceChunkRecords)));
-    cfg.epochCycles =
-        static_cast<std::uint64_t>(args.getInt("epoch-cycles", 0));
-    cfg.volatileManifest = args.getBool("volatile-manifest", false);
-
-    std::vector<SchemeKind> schemes;
-    for (const auto &name : schemeNames)
-        schemes.push_back(schemeKindFromName(name));
+    ResolvedExperiment resolved =
+        resolveExperiment(argc, argv, defaultExperimentConfig());
+    if (resolved.helpRequested) {
+        std::cout << "parameters (key=value; also loadable from "
+                     "config= JSON):\n";
+        experimentRegistry().help(std::cout, resolved.config);
+        return 0;
+    }
+    if (resolved.dumpRequested) {
+        dumpEffectiveConfig(resolved.config, std::cout);
+        return 0;
+    }
+    const ExperimentConfig &cfg = resolved.config;
+    std::vector<SchemeKind> schemes =
+        resolved.schemesExplicit
+            ? resolved.schemes
+            : std::vector<SchemeKind>{SchemeKind::LadderHybrid};
+    std::vector<std::string> workloads =
+        resolved.workloadsExplicit
+            ? resolved.workloads
+            : std::vector<std::string>{"mix-1"};
 
     if (schemes.size() > 1 || workloads.size() > 1) {
         std::printf("sweeping %zu scheme(s) x %zu workload(s) "
@@ -157,7 +129,7 @@ main(int argc, char **argv)
                     "accurate: %+.1f)\n",
                     r.estimatedCwMean, r.estCounterDiffMean);
 
-    if (args.getBool("stats", false)) {
+    if (cfg.printStats) {
         std::printf("\n--- full statistics ---\n");
         system.dumpStats(std::cout);
     }

@@ -1,8 +1,10 @@
 #include "config.hh"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "log.hh"
+#include "param_registry.hh"
 
 namespace ladder
 {
@@ -100,6 +102,30 @@ Config::parseArgs(int argc, const char *const *argv)
             continue;
         }
         set(arg.substr(0, eq), arg.substr(eq + 1));
+    }
+    return leftovers;
+}
+
+std::vector<std::string>
+Config::parseArgs(int argc, const char *const *argv,
+                  const std::vector<std::string> &allowedKeys)
+{
+    std::vector<std::string> leftovers;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto eq = arg.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            leftovers.push_back(arg);
+            continue;
+        }
+        std::string key = arg.substr(0, eq);
+        if (std::find(allowedKeys.begin(), allowedKeys.end(), key) ==
+            allowedKeys.end()) {
+            fatal("command line: unknown key '%s'%s", key.c_str(),
+                  param_detail::suggestNearest(key, allowedKeys)
+                      .c_str());
+        }
+        set(key, arg.substr(eq + 1));
     }
     return leftovers;
 }

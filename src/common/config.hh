@@ -44,8 +44,23 @@ class Config
     /**
      * Parse "key=value" tokens (e.g. command-line arguments). Tokens
      * without '=' are ignored and returned for the caller to interpret.
+     *
+     * Prefer the strict overload below: this one silently accepts any
+     * key, so a typo configures nothing and nobody notices.
      */
     std::vector<std::string> parseArgs(int argc, const char *const *argv);
+
+    /**
+     * Strict variant: every `key=value` key must appear in
+     * @p allowedKeys, or the parse fails with fatal() and a near-miss
+     * suggestion (`mde=dump` suggests `mode`). Tokens without '=' are
+     * still returned as positional leftovers. Tools with a small fixed
+     * key set (trace_cat, latency_explorer) use this; the experiment
+     * drivers validate against the full ParamRegistry instead.
+     */
+    std::vector<std::string>
+    parseArgs(int argc, const char *const *argv,
+              const std::vector<std::string> &allowedKeys);
 
     /** All keys in sorted order (for dumping). */
     std::vector<std::string> keys() const;

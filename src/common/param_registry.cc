@@ -1,0 +1,149 @@
+#include "param_registry.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ladder
+{
+namespace param_detail
+{
+
+bool
+parseInt64(const std::string &text, std::int64_t &out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(text.c_str(), &end, 0);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE)
+        return false;
+    out = static_cast<std::int64_t>(v);
+    return true;
+}
+
+bool
+parseUint64(const std::string &text, std::uint64_t &out,
+            bool &negative)
+{
+    negative = false;
+    if (text.empty())
+        return false;
+    // strtoull silently wraps "-1" to 2^64-1; catch the sign first so
+    // a negative value is reported as such instead of overflowing.
+    std::size_t i = 0;
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i])))
+        ++i;
+    if (i < text.size() && text[i] == '-') {
+        negative = true;
+        return false;
+    }
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 0);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE)
+        return false;
+    out = static_cast<std::uint64_t>(v);
+    return true;
+}
+
+bool
+parseDoubleStrict(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseBoolStrict(const std::string &text, bool &out)
+{
+    if (text == "true" || text == "1" || text == "yes") {
+        out = true;
+        return true;
+    }
+    if (text == "false" || text == "0" || text == "no") {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+unsigned
+editDistance(const std::string &a, const std::string &b)
+{
+    const std::size_t n = a.size(), m = b.size();
+    std::vector<unsigned> prev(m + 1), cur(m + 1);
+    for (std::size_t j = 0; j <= m; ++j)
+        prev[j] = static_cast<unsigned>(j);
+    for (std::size_t i = 1; i <= n; ++i) {
+        cur[0] = static_cast<unsigned>(i);
+        for (std::size_t j = 1; j <= m; ++j) {
+            unsigned sub = prev[j - 1] + (a[i - 1] != b[j - 1]);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[m];
+}
+
+std::string
+suggestNearest(const std::string &key,
+               const std::vector<std::string> &candidates)
+{
+    unsigned best = ~0u;
+    const std::string *winner = nullptr;
+    for (const auto &candidate : candidates) {
+        unsigned d = editDistance(key, candidate);
+        if (d < best) {
+            best = d;
+            winner = &candidate;
+        }
+    }
+    // Only suggest when the candidate is plausibly a typo of the key;
+    // a far-away "suggestion" is worse than none.
+    unsigned budget = static_cast<unsigned>(
+        std::max<std::size_t>(2, key.size() / 3));
+    if (!winner || best > budget)
+        return "";
+    return " (did you mean '" + *winner + "'?)";
+}
+
+[[noreturn]] void
+unknownKeyError(const std::string &source, const std::string &key,
+                const std::vector<std::string> &candidates)
+{
+    fatal("%s: unknown config key '%s'%s — run with --help-config "
+          "for the full parameter list",
+          source.c_str(), key.c_str(),
+          suggestNearest(key, candidates).c_str());
+}
+
+[[noreturn]] void
+valueError(const std::string &source, const std::string &key,
+           const std::string &value, const std::string &problem,
+           const std::string &doc)
+{
+    fatal("%s: %s=%s %s — %s", source.c_str(), key.c_str(),
+          value.c_str(), problem.c_str(), doc.c_str());
+}
+
+} // namespace param_detail
+} // namespace ladder

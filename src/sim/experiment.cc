@@ -56,7 +56,10 @@ SystemConfig
 makeSystemConfig(SchemeKind scheme, const std::string &workload,
                  const ExperimentConfig &config)
 {
-    SystemConfig sys;
+    // Start from the experiment's SystemConfig template so registry
+    // overrides (geometry, queues, cache sizes, ...) reach every cell;
+    // per-cell fields below overwrite whatever the template held.
+    SystemConfig sys = config.system;
     sys.scheme = scheme;
     sys.schemeOptions = config.schemeOptions;
     sys.schemeOptions.tableGranularity = config.granularity;

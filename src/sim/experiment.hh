@@ -14,11 +14,20 @@
 #include <vector>
 
 #include "sim/system.hh"
+#include "wear/policy.hh"
 
 namespace ladder
 {
 
-/** Shared experiment knobs (env LADDER_BENCH_SCALE multiplies sizes). */
+/**
+ * Shared experiment knobs (env LADDER_BENCH_SCALE multiplies sizes).
+ *
+ * Every field here — and every field of the embedded SystemConfig
+ * template and WearPolicy — is declared in the typed parameter
+ * registry (sim/config_resolve), which is the single source of truth
+ * for names, ranges, and doc strings. Add a field without registering
+ * it and it stays unreachable from config files and the CLI.
+ */
 struct ExperimentConfig
 {
     std::uint64_t warmupInstr = 1'500'000;
@@ -28,6 +37,21 @@ struct ExperimentConfig
     std::uint64_t seed = 1;
     FnwMode fnwMode = FnwMode::Classical;
     SchemeOptions schemeOptions{};
+    /**
+     * Template for every per-cell SystemConfig built by
+     * makeSystemConfig: geometry, crossbar, controller, cache, and
+     * core parameters set here (e.g. from a config file) reach every
+     * run of the sweep. Per-cell fields (scheme, workloads, seed,
+     * epochCycles, ...) are overwritten per run.
+     */
+    SystemConfig system{};
+    /** Wear-leveling policy knobs (§6.4 benches and demos). */
+    WearPolicy wear{};
+    /** Cross-check derived latency surfaces with the full MNA solver
+     *  (fig11's former ad-hoc `mna=1` flag). */
+    bool checkMna = false;
+    /** Print the full statistics tree after single runs. */
+    bool printStats = false;
     /**
      * Scale factor on L2/L3 capacities and working sets (tests use
      * small values so caches reach steady state within short runs).

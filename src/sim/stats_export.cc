@@ -10,6 +10,7 @@
 #include "circuit/solvers.hh"
 #include "common/json.hh"
 #include "common/log.hh"
+#include "sim/config_resolve.hh"
 
 namespace ladder
 {
@@ -235,12 +236,19 @@ exportRun(const ExperimentConfig &config, SchemeKind scheme,
                       (dir / "stats.json").string().c_str());
         JsonWriter json(os);
         json.beginObject();
-        json.field("schema_version", 1);
+        json.field("schema_version", 2);
         json.key("manifest");
         json.beginObject();
         writeManifestFields(json,
                             makeRunManifest(scheme, workload, config));
         json.endObject();
+        // The fully-resolved registry view of the configuration, in
+        // Manifest scope: output paths and sweep parallelism are
+        // omitted so identical configs stay byte-identical.
+        json.key("resolved_config");
+        experimentRegistry().dumpJson(
+            config, json,
+            ParamRegistry<ExperimentConfig>::Scope::Manifest);
         json.key("result");
         writeResultJson(json, result);
         json.key("stats");
@@ -307,7 +315,7 @@ exportSweep(const ExperimentConfig &config, const Matrix &matrix)
                   path.string().c_str());
     JsonWriter json(os);
     json.beginObject();
-    json.field("schema_version", 1);
+    json.field("schema_version", 2);
     json.key("manifest");
     json.beginObject();
     json.field("seed", config.seed);
@@ -323,6 +331,9 @@ exportSweep(const ExperimentConfig &config, const Matrix &matrix)
         json.field("jobs", config.jobs);
     }
     json.endObject();
+    json.key("resolved_config");
+    experimentRegistry().dumpJson(
+        config, json, ParamRegistry<ExperimentConfig>::Scope::Manifest);
     json.key("schemes");
     json.beginArray();
     for (SchemeKind kind : matrix.schemes)

@@ -1,9 +1,13 @@
 /**
  * @file
  * Structured run output: a RunManifest identifying each (scheme,
- * workload) cell, per-run `stats.json` files (manifest + SimResult +
- * full stat groups + epoch time series + solver counters), optional
- * per-run write traces, and a sweep-level `sweep.json` index.
+ * workload) cell, per-run `stats.json` files (manifest + the fully
+ * resolved registry config + SimResult + full stat groups + epoch
+ * time series + solver counters), optional per-run write traces, and
+ * a sweep-level `sweep.json` index. Schema version 2: every stats and
+ * sweep file carries a `resolved_config` object — the Manifest-scope
+ * dump of the typed parameter registry (sim/config_resolve), loadable
+ * back as a `config=` file.
  *
  * Determinism contract: with ExperimentConfig::volatileManifest off
  * (the default), every emitted file is byte-identical for a given

@@ -68,6 +68,33 @@ TEST(Config, BoolSpellings)
     EXPECT_TRUE(c.getBool("d", false));
 }
 
+TEST(Config, StrictParseAcceptsAllowedKeys)
+{
+    Config c;
+    const char *argv[] = {"prog", "mode=dump", "limit=5",
+                          "positional"};
+    auto leftovers = c.parseArgs(
+        4, argv, {"mode", "kind", "limit"});
+    EXPECT_EQ(leftovers, std::vector<std::string>{"positional"});
+    EXPECT_EQ(c.getString("mode", ""), "dump");
+    EXPECT_EQ(c.getInt("limit", 0), 5);
+}
+
+TEST(Config, StrictParseRejectsUnknownKey)
+{
+    Config c;
+    const char *argv[] = {"prog", "mde=dump"};
+    try {
+        c.parseArgs(2, argv, {"mode", "kind", "limit"});
+        FAIL() << "expected fatal()";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("unknown key 'mde'"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("did you mean 'mode'"),
+                  std::string::npos);
+    }
+}
+
 TEST(Config, KeysSorted)
 {
     Config c;

@@ -32,6 +32,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/json.hh"
 #include "sim/experiment.hh"
 #include "sim/stats_export.hh"
 
@@ -132,6 +133,21 @@ TEST(GoldenRun, BaselineLbmMatchesCommittedBytes)
         << " vs " << goldenTrace.size()
         << " bytes). If the change is intentional, regenerate: "
            "LADDER_GOLDEN_REGEN=1 ./build/tests/test_golden_run";
+
+    // The manifest embeds the fully-resolved config (schema v2), in
+    // manifest scope: simulation-affecting parameters present, output
+    // paths and parallelism absent.
+    JsonValue doc = parseJson(stats);
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_DOUBLE_EQ(doc.at("schema_version").number, 2.0);
+    ASSERT_TRUE(doc.has("resolved_config"));
+    const JsonValue &resolved = doc.at("resolved_config");
+    ASSERT_TRUE(resolved.isObject());
+    EXPECT_DOUBLE_EQ(resolved.at("measure").number, 20000.0);
+    EXPECT_DOUBLE_EQ(resolved.at("epoch-cycles").number, 10000.0);
+    EXPECT_EQ(resolved.at("trace-format").string, "bin2");
+    EXPECT_FALSE(resolved.has("stats-json"));
+    EXPECT_FALSE(resolved.has("jobs"));
 
     // The run is also reproducible within this process: a second
     // identical run must produce the same bytes, or the golden gate

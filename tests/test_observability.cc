@@ -224,8 +224,9 @@ TEST(StatsExport, ByteIdenticalAcrossJobCounts)
         if (rel.find("stats.json") == std::string::npos)
             continue;
         JsonValue v = parseJson(bytes);
-        EXPECT_DOUBLE_EQ(v.at("schema_version").number, 1.0);
+        EXPECT_DOUBLE_EQ(v.at("schema_version").number, 2.0);
         EXPECT_TRUE(v.at("manifest").isObject());
+        EXPECT_TRUE(v.at("resolved_config").isObject());
         EXPECT_TRUE(v.at("result").isObject());
         EXPECT_TRUE(v.at("stats").isArray());
         EXPECT_TRUE(v.at("solver").isObject());

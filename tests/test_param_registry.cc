@@ -1,0 +1,474 @@
+/**
+ * @file
+ * Tests for the declarative configuration spine: the typed parameter
+ * registry, the layered resolver (defaults < config file < sweep
+ * params < CLI), strict rejection of unknown/malformed/out-of-range
+ * keys, sweep-spec parsing, dump/reload round-trips, and byte-exact
+ * equivalence between file-driven and CLI-driven runs at any job
+ * count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "sim/config_resolve.hh"
+#include "sim/experiment.hh"
+
+#ifndef LADDER_EXAMPLES_DIR
+#error "LADDER_EXAMPLES_DIR must point at the committed examples/"
+#endif
+
+namespace fs = std::filesystem;
+
+namespace ladder
+{
+namespace
+{
+
+/** Pin the manifest before gitDescribeString can memoize (see
+ *  test_golden_run). */
+const bool pinnedDescribe = []() {
+    ::setenv("LADDER_GIT_DESCRIBE", "golden", /*overwrite=*/1);
+    return true;
+}();
+
+ResolvedExperiment
+resolve(std::vector<const char *> args)
+{
+    args.insert(args.begin(), "prog");
+    return resolveExperiment(static_cast<int>(args.size()),
+                             args.data(), ExperimentConfig{});
+}
+
+std::string
+errorOf(std::vector<const char *> args)
+{
+    try {
+        resolve(std::move(args));
+    } catch (const std::runtime_error &e) {
+        return e.what();
+    }
+    return "";
+}
+
+fs::path
+tempFile(const std::string &name, const std::string &content)
+{
+    fs::path dir = fs::path(::testing::TempDir()) / "ladder_registry";
+    fs::create_directories(dir);
+    fs::path path = dir / name;
+    std::ofstream os(path, std::ios::binary);
+    os << content;
+    return path;
+}
+
+std::string
+dumpString(const ExperimentConfig &cfg)
+{
+    std::ostringstream os;
+    dumpEffectiveConfig(cfg, os);
+    return os.str();
+}
+
+std::string
+slurp(const fs::path &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+TEST(ParamRegistry, DumpIsLoadableAndRoundTrips)
+{
+    ExperimentConfig defaults;
+    std::string first = dumpString(defaults);
+
+    // The dump must be valid JSON...
+    JsonValue doc = parseJson(first);
+    ASSERT_TRUE(doc.isObject());
+    // ...and applying it back onto fresh defaults must be the
+    // identity: same keys, same values, same bytes.
+    ExperimentConfig reloaded;
+    experimentRegistry().applyJson(reloaded, doc, "round-trip");
+    EXPECT_EQ(first, dumpString(reloaded));
+}
+
+TEST(ParamRegistry, PrecedenceFileThenCli)
+{
+    fs::path file = tempFile("precedence.json",
+                             "{\"measure\": 111, \"warmup\": 222}\n");
+    std::string configArg = "config=" + file.string();
+    ResolvedExperiment r =
+        resolve({configArg.c_str(), "measure=333"});
+    // CLI beats the file; the file beats the compiled default.
+    EXPECT_EQ(r.config.measureInstr, 333u);
+    EXPECT_EQ(r.config.warmupInstr, 222u);
+    EXPECT_EQ(r.configFile, file.string());
+}
+
+TEST(ParamRegistry, PrecedenceSweepParamsBetweenFileAndCli)
+{
+    fs::path file = tempFile("layer-config.json",
+                             "{\"measure\": 100, \"seed\": 5}\n");
+    fs::path sweep = tempFile(
+        "layer-sweep.json",
+        "{\"params\": {\"measure\": 200, \"granularity\": 16}}\n");
+    std::string configArg = "config=" + file.string();
+    std::string sweepArg = "sweep=" + sweep.string();
+    ResolvedExperiment r = resolve(
+        {configArg.c_str(), sweepArg.c_str(), "measure=300"});
+    EXPECT_EQ(r.config.measureInstr, 300u); // CLI wins
+    EXPECT_EQ(r.config.granularity, 16u);   // sweep params beat file
+    EXPECT_EQ(r.config.seed, 5u);           // file beats defaults
+}
+
+TEST(ParamRegistry, CliArgvOrderIsLastWins)
+{
+    ResolvedExperiment r = resolve({"measure=10", "measure=20"});
+    EXPECT_EQ(r.config.measureInstr, 20u);
+}
+
+TEST(ParamRegistry, UnknownCliKeySuggestsNearMiss)
+{
+    std::string what = errorOf({"measrue=5"});
+    EXPECT_NE(what.find("unknown config key 'measrue'"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("did you mean 'measure'?"),
+              std::string::npos)
+        << what;
+}
+
+TEST(ParamRegistry, NegativeValueIntoUnsignedIsRejected)
+{
+    // The old parseBenchArgs cast getInt into unsigned fields, so
+    // measure=-1 silently wrapped to ~1.8e19 instructions.
+    std::string what = errorOf({"measure=-1"});
+    EXPECT_NE(what.find("measure=-1"), std::string::npos) << what;
+    EXPECT_NE(what.find("unsigned"), std::string::npos) << what;
+
+    EXPECT_NE(errorOf({"jobs=-3"}).find("unsigned"),
+              std::string::npos);
+    EXPECT_NE(errorOf({"trace-chunk=-1"}).find("unsigned"),
+              std::string::npos);
+}
+
+TEST(ParamRegistry, OutOfRangeIsDiagnosedWithDoc)
+{
+    std::string what = errorOf({"ctrl.drain-high=1.5"});
+    EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+    // The doc string rides along so the user learns what the knob is.
+    EXPECT_NE(what.find("drain"), std::string::npos) << what;
+
+    EXPECT_NE(errorOf({"granularity=0"}).find("out of range"),
+              std::string::npos);
+    EXPECT_NE(errorOf({"core.rob=4"}).find("out of range"),
+              std::string::npos);
+}
+
+TEST(ParamRegistry, NonNumericValueIsRejected)
+{
+    EXPECT_NE(errorOf({"measure=abc"}).find("not an unsigned"),
+              std::string::npos);
+    EXPECT_NE(errorOf({"cache-scale=fast"}).find("not a number"),
+              std::string::npos);
+    EXPECT_NE(errorOf({"trace-stream=maybe"}).find("not a boolean"),
+              std::string::npos);
+}
+
+TEST(ParamRegistry, BadChoiceSuggests)
+{
+    std::string what = errorOf({"trace-format=binx"});
+    EXPECT_NE(what.find("{csv|bin|bin2}"), std::string::npos) << what;
+
+    what = errorOf({"fnw-mode=clasical"});
+    EXPECT_NE(what.find("did you mean 'classical'?"),
+              std::string::npos)
+        << what;
+}
+
+TEST(ParamRegistry, EnumParsesAllMappedNames)
+{
+    EXPECT_EQ(resolve({"fnw-mode=off"}).config.fnwMode, FnwMode::Off);
+    EXPECT_EQ(resolve({"fnw-mode=constrained"}).config.fnwMode,
+              FnwMode::Constrained);
+}
+
+TEST(ParamRegistry, MalformedConfigFileNamesTheFile)
+{
+    fs::path file = tempFile("broken.json", "{ nope\n");
+    std::string configArg = "config=" + file.string();
+    std::string what = errorOf({configArg.c_str()});
+    EXPECT_NE(what.find("not valid JSON"), std::string::npos) << what;
+    EXPECT_NE(what.find("broken.json"), std::string::npos) << what;
+}
+
+TEST(ParamRegistry, MissingConfigFileIsFatal)
+{
+    EXPECT_NE(errorOf({"config=/nonexistent/nope.json"})
+                  .find("cannot read"),
+              std::string::npos);
+}
+
+TEST(ParamRegistry, UnknownKeyInConfigFileNamesTheFile)
+{
+    fs::path file = tempFile("typo.json", "{\"measrue\": 5}\n");
+    std::string configArg = "config=" + file.string();
+    std::string what = errorOf({configArg.c_str()});
+    EXPECT_NE(what.find("typo.json"), std::string::npos) << what;
+    EXPECT_NE(what.find("did you mean 'measure'?"), std::string::npos)
+        << what;
+}
+
+TEST(ParamRegistry, ConfigFileMustBeFlatObject)
+{
+    fs::path file = tempFile("array.json", "[1, 2]\n");
+    std::string configArg = "config=" + file.string();
+    EXPECT_NE(errorOf({configArg.c_str()}).find("flat JSON object"),
+              std::string::npos);
+}
+
+TEST(ParamRegistry, SweepSpecSelectsGridAndParams)
+{
+    fs::path sweep = tempFile(
+        "grid.json",
+        "{\"schemes\": [\"baseline\", \"LADDER-Hybrid\"],\n"
+        " \"workloads\": [\"lbm\", \"astar\"],\n"
+        " \"params\": {\"measure\": 4000}}\n");
+    std::string sweepArg = "sweep=" + sweep.string();
+    ResolvedExperiment r = resolve({sweepArg.c_str()});
+    ASSERT_TRUE(r.schemesExplicit);
+    ASSERT_TRUE(r.workloadsExplicit);
+    EXPECT_EQ(r.schemes,
+              (std::vector<SchemeKind>{SchemeKind::Baseline,
+                                       SchemeKind::LadderHybrid}));
+    EXPECT_EQ(r.workloads,
+              (std::vector<std::string>{"lbm", "astar"}));
+    EXPECT_EQ(r.config.measureInstr, 4000u);
+}
+
+TEST(ParamRegistry, SweepSpecUnknownTopLevelKeySuggests)
+{
+    fs::path sweep =
+        tempFile("badkey.json", "{\"scheems\": [\"baseline\"]}\n");
+    std::string sweepArg = "sweep=" + sweep.string();
+    std::string what = errorOf({sweepArg.c_str()});
+    EXPECT_NE(what.find("unknown key 'scheems'"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("did you mean 'schemes'?"), std::string::npos)
+        << what;
+}
+
+TEST(ParamRegistry, SweepSpecRejectsNonStringLists)
+{
+    fs::path sweep =
+        tempFile("badlist.json", "{\"workloads\": [1, 2]}\n");
+    std::string sweepArg = "sweep=" + sweep.string();
+    EXPECT_NE(
+        errorOf({sweepArg.c_str()}).find("array of strings"),
+        std::string::npos);
+}
+
+TEST(ParamRegistry, CliSelectionOverridesSweepSpec)
+{
+    fs::path sweep = tempFile(
+        "grid2.json",
+        "{\"schemes\": [\"baseline\", \"Oracle\"],"
+        " \"workloads\": [\"lbm\"]}\n");
+    std::string sweepArg = "sweep=" + sweep.string();
+    ResolvedExperiment r =
+        resolve({sweepArg.c_str(), "scheme=BLP", "workload=astar"});
+    EXPECT_EQ(r.schemes, (std::vector<SchemeKind>{SchemeKind::Blp}));
+    EXPECT_EQ(r.workloads, (std::vector<std::string>{"astar"}));
+}
+
+TEST(ParamRegistry, WorkloadAndSchemeValidationSuggests)
+{
+    EXPECT_NE(errorOf({"workload=lbmm"}).find("did you mean 'lbm'?"),
+              std::string::npos);
+    EXPECT_NE(errorOf({"scheme=LADDER-Hybird"})
+                  .find("did you mean 'LADDER-Hybrid'?"),
+              std::string::npos);
+    EXPECT_NE(errorOf({"workloads="}).find("empty workload selection"),
+              std::string::npos);
+}
+
+TEST(ParamRegistry, CsvSelectionsParse)
+{
+    ResolvedExperiment r = resolve(
+        {"schemes=baseline,BLP,Oracle", "workloads=mix-1,mix-2"});
+    EXPECT_EQ(r.schemes,
+              (std::vector<SchemeKind>{SchemeKind::Baseline,
+                                       SchemeKind::Blp,
+                                       SchemeKind::Oracle}));
+    EXPECT_EQ(r.workloads,
+              (std::vector<std::string>{"mix-1", "mix-2"}));
+}
+
+TEST(ParamRegistry, PositionalArgumentIsRejected)
+{
+    EXPECT_NE(errorOf({"oops"}).find("unexpected argument 'oops'"),
+              std::string::npos);
+}
+
+TEST(ParamRegistry, DuplicateConfigOrSweepIsRejected)
+{
+    fs::path a = tempFile("a.json", "{}\n");
+    fs::path b = tempFile("b.json", "{}\n");
+    std::string argA = "config=" + a.string();
+    std::string argB = "config=" + b.string();
+    EXPECT_NE(errorOf({argA.c_str(), argB.c_str()})
+                  .find("config= given twice"),
+              std::string::npos);
+}
+
+TEST(ParamRegistry, DumpAndHelpFlagsAreRecognized)
+{
+    EXPECT_TRUE(resolve({"--dump-config"}).dumpRequested);
+    EXPECT_TRUE(resolve({"--help-config"}).helpRequested);
+    EXPECT_FALSE(resolve({}).dumpRequested);
+}
+
+TEST(ParamRegistry, ManifestScopeExcludesOutputAndVolatileKnobs)
+{
+    ExperimentConfig cfg;
+    cfg.statsJsonDir = "/tmp/somewhere";
+    cfg.jobs = 8;
+    std::ostringstream os;
+    JsonWriter json(os);
+    experimentRegistry().dumpJson(
+        cfg, json, ParamRegistry<ExperimentConfig>::Scope::Manifest);
+    JsonValue doc = parseJson(os.str());
+    ASSERT_TRUE(doc.isObject());
+    // Output locations and parallelism cannot leak into manifests, or
+    // byte-identity across output dirs and jobs= values would break.
+    EXPECT_FALSE(doc.has("stats-json"));
+    EXPECT_FALSE(doc.has("trace-out"));
+    EXPECT_FALSE(doc.has("jobs"));
+    EXPECT_FALSE(doc.has("volatile-manifest"));
+    EXPECT_FALSE(doc.has("stats"));
+    // Simulation-affecting parameters are all present.
+    EXPECT_TRUE(doc.has("measure"));
+    EXPECT_TRUE(doc.has("xbar.rows"));
+    EXPECT_TRUE(doc.has("ctrl.drain-high"));
+    EXPECT_TRUE(doc.has("wear.psi"));
+}
+
+TEST(ParamRegistry, PaperScaleSetterAppliesTable2)
+{
+    ResolvedExperiment r = resolve({"sys.paper-scale=true"});
+    EXPECT_TRUE(r.config.system.paperScale);
+    EXPECT_EQ(r.config.system.caches.l2.sizeBytes,
+              std::size_t(4) * 1024 * 1024);
+    EXPECT_EQ(r.config.system.caches.l3.sizeBytes,
+              std::size_t(32) * 1024 * 1024);
+    EXPECT_DOUBLE_EQ(r.config.system.workingSetScale, 8.0);
+
+    // Later keys can still override individual fields.
+    ResolvedExperiment r2 = resolve(
+        {"sys.paper-scale=true", "cache.l3-bytes=16777216"});
+    EXPECT_EQ(r2.config.system.caches.l3.sizeBytes,
+              std::size_t(16) * 1024 * 1024);
+}
+
+TEST(ParamRegistry, SystemTemplateReachesEveryCell)
+{
+    ResolvedExperiment r = resolve(
+        {"ctrl.write-queue=128", "geom.channels=4",
+         "xbar.selected-cells=16"});
+    SystemConfig sys =
+        makeSystemConfig(SchemeKind::Baseline, "lbm", r.config);
+    EXPECT_EQ(sys.controller.writeQueueEntries, 128u);
+    EXPECT_EQ(sys.geometry.channels, 4u);
+    EXPECT_EQ(sys.crossbar.selectedCells, 16u);
+}
+
+TEST(ParamRegistry, CommittedExampleConfigsResolve)
+{
+    const fs::path dir = fs::path(LADDER_EXAMPLES_DIR) / "configs";
+    std::string quick = "config=" + (dir / "ci-quick.json").string();
+    ResolvedExperiment r = resolve({quick.c_str()});
+    EXPECT_EQ(r.config.warmupInstr, 60000u);
+    EXPECT_EQ(r.config.measureInstr, 40000u);
+    EXPECT_EQ(r.config.epochCycles, 10000u);
+
+    std::string paper =
+        "config=" + (dir / "paper-table2.json").string();
+    ResolvedExperiment p = resolve({paper.c_str()});
+    EXPECT_TRUE(p.config.system.paperScale);
+    EXPECT_EQ(p.config.measureInstr, 500000000u);
+
+    std::string sweep = "sweep=" + (dir / "ci-sweep.json").string();
+    ResolvedExperiment s = resolve({sweep.c_str()});
+    EXPECT_EQ(s.schemes,
+              (std::vector<SchemeKind>{SchemeKind::Baseline,
+                                       SchemeKind::LadderHybrid}));
+    EXPECT_EQ(s.workloads, (std::vector<std::string>{"lbm",
+                                                     "astar"}));
+    EXPECT_EQ(s.config.measureInstr, 40000u);
+}
+
+TEST(ParamRegistry, FileAndCliRunsAreByteIdenticalAtAnyJobs)
+{
+    ASSERT_TRUE(pinnedDescribe);
+    const fs::path base =
+        fs::path(::testing::TempDir()) / "ladder_registry_runs";
+    fs::remove_all(base);
+
+    // One grid, two spellings: everything in files vs everything on
+    // the command line, at different jobs= values. The emitted
+    // stats.json and sweep.json must agree byte for byte.
+    fs::path spec = tempFile(
+        "equiv-sweep.json",
+        "{\"schemes\": [\"baseline\", \"LADDER-Hybrid\"],\n"
+        " \"workloads\": [\"lbm\"],\n"
+        " \"params\": {\"warmup\": 6000, \"measure\": 2000,\n"
+        "              \"cache-scale\": 0.0625,\n"
+        "              \"epoch-cycles\": 10000}}\n");
+    std::string sweepArg = "sweep=" + spec.string();
+    std::string statsA =
+        "stats-json=" + (base / "files").string();
+    ResolvedExperiment fromFiles =
+        resolve({sweepArg.c_str(), statsA.c_str(), "jobs=1"});
+
+    std::string statsB = "stats-json=" + (base / "cli").string();
+    ResolvedExperiment fromCli = resolve(
+        {"schemes=baseline,LADDER-Hybrid", "workloads=lbm",
+         "warmup=6000", "measure=2000", "cache-scale=0.0625",
+         "epoch-cycles=10000", statsB.c_str(), "jobs=2"});
+
+    runMatrixParallel(fromFiles.schemes, fromFiles.workloads,
+                      fromFiles.config);
+    runMatrixParallel(fromCli.schemes, fromCli.workloads,
+                      fromCli.config);
+
+    for (const char *run : {"baseline__lbm", "LADDER-Hybrid__lbm"}) {
+        std::string a =
+            slurp(base / "files" / run / "stats.json");
+        std::string b = slurp(base / "cli" / run / "stats.json");
+        ASSERT_FALSE(a.empty()) << run;
+        EXPECT_EQ(a, b) << run;
+        // The embedded resolved_config block is present and carries
+        // the layered values.
+        JsonValue doc = parseJson(a);
+        ASSERT_TRUE(doc.has("resolved_config")) << run;
+        EXPECT_DOUBLE_EQ(
+            doc.at("resolved_config").at("measure").number, 2000.0);
+        EXPECT_DOUBLE_EQ(doc.at("schema_version").number, 2.0);
+    }
+    EXPECT_EQ(slurp(base / "files" / "sweep.json"),
+              slurp(base / "cli" / "sweep.json"));
+
+    fs::remove_all(base);
+}
+
+} // namespace
+} // namespace ladder
