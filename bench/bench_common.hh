@@ -71,6 +71,11 @@ parseBenchArgs(int argc, char **argv, ExperimentConfig &cfg,
     ResolvedExperiment resolved =
         resolveExperiment(argc, argv, cfg);
     if (resolved.helpRequested) {
+        if (resolved.helpFormat == "md") {
+            experimentRegistry().helpMarkdown(std::cout,
+                                             resolved.config);
+            std::exit(0);
+        }
         std::cout << "parameters (key=value; also loadable from "
                      "config= JSON):\n";
         experimentRegistry().help(std::cout, resolved.config);

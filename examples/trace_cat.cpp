@@ -130,6 +130,17 @@ main(int argc, char **argv)
         return 2;
     }
 
+    // Push the tick window down to the reader: on v2 traces, chunks
+    // whose index range falls outside [min-tick, max-tick] are
+    // skipped without being CRC-checked or decoded. The per-record
+    // filter below still trims the boundary chunks exactly.
+    if (minTick > 0 || maxTickArg >= 0) {
+        reader.setTickWindow(
+            minTick, maxTickArg >= 0
+                         ? static_cast<std::uint64_t>(maxTickArg)
+                         : ~std::uint64_t{0});
+    }
+
     std::printf("type,tick,channel,wordline,bitline,lrs_count,"
                 "latency_ns,queue_depth\n");
     CtrlTraceRecord rec;

@@ -33,6 +33,7 @@
 
 #include "sim/config_resolve.hh"
 #include "sim/experiment.hh"
+#include "sim/profile_export.hh"
 #include "sim/stats_export.hh"
 
 using namespace ladder;
@@ -43,6 +44,11 @@ main(int argc, char **argv)
     ResolvedExperiment resolved =
         resolveExperiment(argc, argv, defaultExperimentConfig());
     if (resolved.helpRequested) {
+        if (resolved.helpFormat == "md") {
+            experimentRegistry().helpMarkdown(std::cout,
+                                             resolved.config);
+            return 0;
+        }
         std::cout << "parameters (key=value; also loadable from "
                      "config= JSON):\n";
         experimentRegistry().help(std::cout, resolved.config);
@@ -94,6 +100,7 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(cfg.warmupInstr),
                 static_cast<unsigned long long>(cfg.measureInstr));
 
+    beginProfiling(cfg);
     System system(makeSystemConfig(kind, workload, cfg));
     std::unique_ptr<WriteTraceSink> trace =
         makeTraceSink(kind, workload, cfg);
@@ -103,6 +110,7 @@ main(int argc, char **argv)
     if (trace)
         trace->finish();
     exportRun(cfg, kind, workload, system, r, trace.get());
+    exportProfile(cfg, {{kind, workload}});
 
     std::printf("\n--- headline metrics ---\n");
     for (std::size_t c = 0; c < r.coreIpc.size(); ++c)

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/log.hh"
+#include "common/profiler.hh"
 #include "solvers.hh"
 
 namespace ladder
@@ -18,6 +19,7 @@ SneakPathModel::SneakPathModel(const CrossbarParams &params)
 ResetEvaluation
 SneakPathModel::evaluate(const ResetCondition &cond) const
 {
+    PROF_SCOPE("fastmodel_solve");
     const std::size_t n = params_.rows;
     const std::size_t m = params_.cols;
     const std::size_t nSel = params_.selectedCells;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "common/profiler.hh"
 
 namespace ladder
 {
@@ -19,6 +20,7 @@ ResetLatencyLaw
 ResetLatencyLaw::calibrate(double bestDropVolts, double worstDropVolts,
                            double fast, double slow)
 {
+    PROF_SCOPE("latency_calibrate");
     ladder_assert(bestDropVolts > worstDropVolts,
                   "calibrate: best drop (%f) must exceed worst (%f)",
                   bestDropVolts, worstDropVolts);

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/log.hh"
+#include "common/profiler.hh"
 #include "solvers.hh"
 #include "sparse.hh"
 
@@ -77,6 +78,7 @@ CrossbarMna::Solution
 CrossbarMna::solve(const std::vector<CellState> &pattern,
                    const WriteOperation &op) const
 {
+    PROF_SCOPE("mna_solve");
     const std::size_t n = params_.rows;
     const std::size_t m = params_.cols;
     ladder_assert(pattern.size() == n * m, "pattern size mismatch");

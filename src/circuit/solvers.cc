@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "common/profiler.hh"
 
 namespace ladder
 {
@@ -78,6 +79,7 @@ conjugateGradient(const SparseMatrix &a, const std::vector<double> &b,
                   std::vector<double> &x, double tol,
                   std::size_t maxIter)
 {
+    PROF_SCOPE("cg_solve");
     const std::size_t n = a.size();
     ladder_assert(b.size() == n, "cg: rhs dimension mismatch");
     if (x.size() != n)

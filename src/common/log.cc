@@ -59,23 +59,33 @@ envThreshold()
         const char *env = std::getenv("LADDER_LOG");
         if (!env)
             return LogLevel::Info;
-        std::string v(env);
-        if (v == "debug")
-            return LogLevel::Debug;
-        if (v == "info")
-            return LogLevel::Info;
-        if (v == "warn")
-            return LogLevel::Warn;
-        std::fprintf(stderr,
-                     "warn: LADDER_LOG='%s' not one of "
-                     "debug|info|warn; defaulting to info\n",
-                     env);
-        return LogLevel::Info;
+        LogLevel parsed = LogLevel::Info;
+        if (!parseLogLevelName(env, parsed)) {
+            std::fprintf(stderr,
+                         "warn: LADDER_LOG='%s' not one of "
+                         "debug|info|warn; defaulting to info\n",
+                         env);
+        }
+        return parsed;
     }();
     return level;
 }
 
 } // anonymous namespace
+
+bool
+parseLogLevelName(const std::string &text, LogLevel &out)
+{
+    if (text == "debug")
+        out = LogLevel::Debug;
+    else if (text == "info")
+        out = LogLevel::Info;
+    else if (text == "warn")
+        out = LogLevel::Warn;
+    else
+        return false;
+    return true;
+}
 
 LogLevel
 logThreshold()

@@ -51,6 +51,13 @@ LogLevel logThreshold();
 void setLogThreshold(LogLevel level);
 
 /**
+ * Parse a LADDER_LOG value ("debug" | "info" | "warn") into @p out.
+ * Returns false — leaving @p out untouched — on anything else,
+ * which logThreshold() reports once and treats as "info".
+ */
+bool parseLogLevelName(const std::string &text, LogLevel &out);
+
+/**
  * Redirect log output (post-filtering) to @p sink instead of stderr;
  * pass nullptr to restore stderr. Used by tests to assert on emitted
  * messages. The sink is called with the sink mutex held, so it must

@@ -492,8 +492,47 @@ class ParamRegistry
         }
     }
 
+    /**
+     * The same listing as a GitHub-flavored markdown table — the
+     * source of the generated parameter section in EXPERIMENTS.md
+     * (scripts/update_experiments_params.py splices the output of
+     * `--help-config=md` between its markers, and CI fails when the
+     * committed table goes stale). @p current supplies the defaults
+     * column, so pass the compiled-default config.
+     */
+    void
+    helpMarkdown(std::ostream &os, const Owner &current) const
+    {
+        os << "| parameter | type | default | range | description "
+              "|\n";
+        os << "|---|---|---|---|---|\n";
+        for (const auto &entry : params_) {
+            const Param &p = entry.second;
+            std::string value = p.get(current);
+            os << "| `" << p.name << "` | " << p.typeName << " | `"
+               << (value.empty() ? "''" : value) << "` | "
+               << mdEscape(p.rangeText) << " | " << mdEscape(p.doc)
+               << " |\n";
+        }
+    }
+
   private:
     std::map<std::string, Param> params_;
+
+    /** Escape '|' so range/doc text cannot break the table row. */
+    static std::string
+    mdEscape(const std::string &text)
+    {
+        std::string out;
+        out.reserve(text.size());
+        for (char c : text) {
+            if (c == '|')
+                out += "\\|";
+            else
+                out.push_back(c);
+        }
+        return out;
+    }
 
     static std::string
     choiceText(const std::vector<std::string> &choices)

@@ -1,0 +1,161 @@
+#include "profiler.hh"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+
+namespace ladder::prof
+{
+
+namespace detail
+{
+std::atomic<bool> g_enabled{false};
+} // namespace detail
+
+namespace
+{
+
+/**
+ * One thread's append-only buffer. Owned jointly by the thread (via
+ * its thread_local handle) and the registry, so the data outlives the
+ * thread. The owning thread is the only writer; the coordinator reads
+ * via collect() only while writers are quiescent, which is what makes
+ * the unsynchronized vectors safe (the pool join / thread exit
+ * provides the happens-before edge).
+ */
+struct ThreadBuf
+{
+    std::uint64_t id = 0;
+    std::string name;
+    std::vector<Span> spans;
+    std::vector<CounterSample> counters;
+};
+
+struct Registry
+{
+    std::mutex mutex;
+    std::vector<std::shared_ptr<ThreadBuf>> threads;
+    std::unordered_set<std::string> internedNames;
+};
+
+Registry &
+registry()
+{
+    static Registry *r = new Registry; // leaked: usable at any exit
+    return *r;
+}
+
+std::shared_ptr<ThreadBuf>
+currentBuf()
+{
+    thread_local std::shared_ptr<ThreadBuf> buf = []() {
+        auto b = std::make_shared<ThreadBuf>();
+        Registry &reg = registry();
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        b->id = reg.threads.size();
+        reg.threads.push_back(b);
+        return b;
+    }();
+    return buf;
+}
+
+std::chrono::steady_clock::time_point
+anchor()
+{
+    static const auto t0 = std::chrono::steady_clock::now();
+    return t0;
+}
+
+} // namespace
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - anchor())
+            .count());
+}
+
+void
+enable()
+{
+    anchor(); // pin the epoch before any span can sample it
+    Registry &reg = registry();
+    {
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        for (auto &buf : reg.threads) {
+            buf->spans.clear();
+            buf->counters.clear();
+        }
+    }
+    detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void
+disable()
+{
+    detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+void
+recordSpan(const char *name, std::uint64_t startNs,
+           std::uint64_t endNs)
+{
+    ThreadBuf &buf = *currentBuf();
+    buf.spans.push_back({name, startNs, endNs});
+}
+
+void
+recordCounter(const char *name, double value)
+{
+    ThreadBuf &buf = *currentBuf();
+    buf.counters.push_back({name, nowNs(), value});
+}
+
+void
+setCurrentThreadName(const std::string &name)
+{
+    currentBuf()->name = name;
+}
+
+const char *
+internName(const std::string &name)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    return reg.internedNames.insert(name).first->c_str();
+}
+
+std::vector<ThreadLog>
+collect()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::vector<ThreadLog> out;
+    out.reserve(reg.threads.size());
+    for (const auto &buf : reg.threads) {
+        ThreadLog log;
+        log.threadId = buf->id;
+        log.name = buf->name;
+        log.spans = buf->spans;
+        log.counters = buf->counters;
+        out.push_back(std::move(log));
+    }
+    return out;
+}
+
+void
+reset()
+{
+    detail::g_enabled.store(false, std::memory_order_relaxed);
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (auto &buf : reg.threads) {
+        buf->spans.clear();
+        buf->counters.clear();
+    }
+}
+
+} // namespace ladder::prof

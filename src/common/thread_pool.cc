@@ -1,9 +1,37 @@
 #include "thread_pool.hh"
 
 #include <algorithm>
+#include <cstdio>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+#include "common/profiler.hh"
 
 namespace ladder
 {
+
+namespace
+{
+
+/**
+ * Name the calling worker for profiles, TSan reports, and `top -H`.
+ * pthread names are capped at 15 chars, so "ladder-wk-N" fits up to
+ * four index digits.
+ */
+void
+nameWorkerThread(unsigned index)
+{
+    char name[16];
+    std::snprintf(name, sizeof(name), "ladder-wk-%u", index);
+#if defined(__linux__)
+    pthread_setname_np(pthread_self(), name);
+#endif
+    prof::setCurrentThreadName(name);
+}
+
+} // namespace
 
 unsigned
 ThreadPool::defaultJobs()
@@ -17,8 +45,12 @@ ThreadPool::ThreadPool(unsigned threads)
     if (threads == 0)
         threads = defaultJobs();
     workers_.reserve(threads);
-    for (unsigned i = 0; i < threads; ++i)
-        workers_.emplace_back([this]() { workerLoop(); });
+    for (unsigned i = 0; i < threads; ++i) {
+        workers_.emplace_back([this, i]() {
+            nameWorkerThread(i);
+            workerLoop();
+        });
+    }
 }
 
 ThreadPool::~ThreadPool()
@@ -70,7 +102,10 @@ ThreadPool::workerLoop()
         }
         // A packaged_task captures any exception into its future, so
         // job() never throws out of the worker.
-        job();
+        {
+            PROF_SCOPE("pool_task");
+            job();
+        }
         {
             std::lock_guard<std::mutex> lock(mutex_);
             --active_;

@@ -126,6 +126,10 @@ TraceReader::parseHeader()
     chunkIndex_ = 0;
     chunkPos_ = 0;
     csvDone_ = false;
+    tickWindowSet_ = false;
+    minTick_ = 0;
+    maxTick_ = ~std::uint64_t{0};
+    chunksDecoded_ = 0;
     version_ = 0;
     format_ = TraceFormat::Csv;
 
@@ -329,6 +333,43 @@ TraceReader::loadChunk(std::size_t index)
                 index));
         chunkBuf_.push_back(r);
     }
+    ++chunksDecoded_;
+    return true;
+}
+
+void
+TraceReader::setTickWindow(std::uint64_t minTick,
+                           std::uint64_t maxTick)
+{
+    tickWindowSet_ = true;
+    minTick_ = minTick;
+    maxTick_ = maxTick;
+}
+
+bool
+TraceReader::peekChunkTicks(std::size_t index, std::uint64_t &first,
+                            std::uint64_t &last)
+{
+    const ChunkEntry &entry = chunks_[index];
+    // The tick is the first 8 bytes of the 24-byte record, and
+    // records land in simulation-time order, so the chunk's tick
+    // range comes from two tiny reads — no CRC, no decode.
+    char buf[8];
+    is_->clear();
+    is_->seekg(static_cast<std::streamoff>(
+                   entry.offset + traceChunkHeaderBytes),
+               std::ios::beg);
+    if (!readExact(buf, sizeof(buf), "chunk first-tick peek"))
+        return false;
+    first = readU64(buf);
+    is_->seekg(static_cast<std::streamoff>(
+                   entry.offset + traceChunkHeaderBytes +
+                   static_cast<std::uint64_t>(entry.records - 1) *
+                       traceRecordBytes),
+               std::ios::beg);
+    if (!readExact(buf, sizeof(buf), "chunk last-tick peek"))
+        return false;
+    last = readU64(buf);
     return true;
 }
 
@@ -358,6 +399,15 @@ TraceReader::next(CtrlTraceRecord &out)
         while (chunkPos_ >= chunkBuf_.size()) {
             if (chunkIndex_ >= chunks_.size())
                 return false;
+            if (tickWindowSet_) {
+                std::uint64_t first = 0, last = 0;
+                if (!peekChunkTicks(chunkIndex_, first, last))
+                    return false;
+                if (last < minTick_ || first > maxTick_) {
+                    ++chunkIndex_;
+                    continue;
+                }
+            }
             if (!loadChunk(chunkIndex_))
                 return false;
             ++chunkIndex_;

@@ -67,6 +67,23 @@ class TraceReader
     std::uint64_t totalRecords() const { return totalRecords_; }
 
     /**
+     * Restrict iteration to records with minTick <= tick <= maxTick.
+     * On the v2 format this is pushed down to the chunk index:
+     * records are appended in simulation-time order, so a chunk's
+     * tick range is [first record tick, last record tick], peekable
+     * from 16 bytes without decoding — chunks entirely outside the
+     * window are skipped whole, never CRC-checked or decoded (see
+     * chunksDecoded()). Boundary chunks can still deliver records
+     * just outside the window, so callers wanting an exact cut must
+     * keep their per-record filter; v1/CSV have no index and are
+     * filtered by the caller alone. Call before iterating.
+     */
+    void setTickWindow(std::uint64_t minTick, std::uint64_t maxTick);
+
+    /** Chunks CRC-checked + decoded so far (v2; skipping counter). */
+    std::uint64_t chunksDecoded() const { return chunksDecoded_; }
+
+    /**
      * Read the next record into @p out. Returns false at clean end of
      * trace *or* on error — check ok() to tell the two apart.
      */
@@ -114,6 +131,9 @@ class TraceReader
     bool parseV2();
     bool loadChunk(std::size_t index);
     bool nextCsv(CtrlTraceRecord &out);
+    /** Peek chunk @p index's first/last record ticks (no decode). */
+    bool peekChunkTicks(std::size_t index, std::uint64_t &first,
+                        std::uint64_t &last);
 
     std::unique_ptr<std::istream> is_;
     std::string error_;
@@ -129,6 +149,10 @@ class TraceReader
     std::size_t chunkIndex_ = 0; //!< next chunk to load
     std::size_t chunkPos_ = 0;   //!< next record within chunkBuf_
     bool csvDone_ = false;
+    bool tickWindowSet_ = false;
+    std::uint64_t minTick_ = 0;
+    std::uint64_t maxTick_ = ~std::uint64_t{0};
+    std::uint64_t chunksDecoded_ = 0;
 };
 
 /** Aggregate statistics over a whole trace (see summarizeTrace). */

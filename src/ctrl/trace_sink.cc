@@ -7,9 +7,14 @@
 #include <fstream>
 #include <thread>
 
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
 #include "common/bounded_queue.hh"
 #include "common/crc32.hh"
 #include "common/log.hh"
+#include "common/profiler.hh"
 #include "ctrl/trace_wire.hh"
 
 namespace ladder
@@ -212,8 +217,13 @@ WriteTraceSink::startStream()
     Stream *raw = stream.get();
     TraceFormat format = format_;
     stream->writer = std::thread([raw, format]() {
+#if defined(__linux__)
+        pthread_setname_np(pthread_self(), "ladder-trace");
+#endif
+        prof::setCurrentThreadName("ladder-trace");
         while (auto chunk = raw->queue.pop()) {
             if (!raw->failed.load(std::memory_order_relaxed)) {
+                PROF_SCOPE("trace_flush");
                 std::string bytes;
                 if (format == TraceFormat::BinaryV2) {
                     ChunkIndexEntry entry;
@@ -345,6 +355,7 @@ void
 WriteTraceSink::writeCsv(std::ostream &os) const
 {
     ladder_assert(!stream_, "writeCsv() is buffered-mode only");
+    PROF_SCOPE("trace_flush");
     os.write(traceCsvHeader, sizeof(traceCsvHeader) - 1);
     std::string row;
     for (const CtrlTraceRecord &r : records_) {
@@ -358,6 +369,7 @@ void
 WriteTraceSink::writeBinary(std::ostream &os) const
 {
     ladder_assert(!stream_, "writeBinary() is buffered-mode only");
+    PROF_SCOPE("trace_flush");
     std::string out(traceFileMagic, sizeof(traceFileMagic));
     appendU32(out, 1);
     appendU32(out, static_cast<std::uint32_t>(records_.size()));
@@ -371,6 +383,7 @@ WriteTraceSink::writeBinaryV2(std::ostream &os,
                               std::size_t chunkRecords) const
 {
     ladder_assert(!stream_, "writeBinaryV2() is buffered-mode only");
+    PROF_SCOPE("trace_flush");
     ladder_assert(chunkRecords > 0, "writeBinaryV2: zero chunk size");
     std::string header = serializeV2Header(chunkRecords);
     os.write(header.data(),

@@ -10,6 +10,7 @@
 
 #include "circuit/fastmodel.hh"
 #include "common/log.hh"
+#include "common/profiler.hh"
 
 namespace ladder
 {
@@ -238,6 +239,7 @@ TimingModel
 TimingModel::generate(const CrossbarParams &params, unsigned granularity,
                       double rangeShrink, double fastNs, double slowNs)
 {
+    PROF_SCOPE("timing_table_build");
     TimingModel model;
     model.params = params;
 

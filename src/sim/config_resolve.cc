@@ -188,6 +188,14 @@ registerExperimentParams(Registry &reg)
                 "Include wall clock and job count in JSON manifests "
                 "(breaks byte-identity across runs)")
         .inManifest = false;
+    reg.addString("profile-out", LADDER_FIELD(profileOut),
+                  "Write a Chrome-trace/Perfetto host+sim timeline "
+                  "JSON to this path ('' = off)")
+        .inManifest = false;
+    reg.addBool("profile", LADDER_FIELD(profileSummary),
+                "Print an aggregate per-span host profile to stderr "
+                "after the run")
+        .inManifest = false;
 
     // ---------------------------------------------------------------
     // Write-scheme options
@@ -527,6 +535,11 @@ resolveExperiment(int argc, const char *const *argv,
         }
         if (arg == "--help-config") {
             out.helpRequested = true;
+            continue;
+        }
+        if (arg == "--help-config=md") {
+            out.helpRequested = true;
+            out.helpFormat = "md";
             continue;
         }
         auto eq = arg.find('=');

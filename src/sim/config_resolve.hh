@@ -64,6 +64,12 @@ struct ResolvedExperiment
      *  prints (dumpEffectiveConfig / registry help) and exits. */
     bool dumpRequested = false;
     bool helpRequested = false;
+    /**
+     * --help-config output format: "" (fixed-width text listing) or
+     * "md" (markdown table via ParamRegistry::helpMarkdown, consumed
+     * by scripts/update_experiments_params.py).
+     */
+    std::string helpFormat;
     /** config=/sweep= file paths, for diagnostics ("" = none). */
     std::string configFile;
     std::string sweepFile;

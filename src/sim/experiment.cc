@@ -12,7 +12,9 @@
 #include <mutex>
 
 #include "common/log.hh"
+#include "common/profiler.hh"
 #include "common/thread_pool.hh"
+#include "sim/profile_export.hh"
 #include "sim/stats_export.hh"
 #include "trace/workloads.hh"
 
@@ -108,6 +110,12 @@ SimResult
 runOne(SchemeKind scheme, const std::string &workload,
        const ExperimentConfig &config)
 {
+    // Dynamic per-cell label; interned once per run, null (and free)
+    // when profiling is off.
+    prof::Scope cellSpan(
+        prof::enabled()
+            ? prof::internName("run " + runDirName(scheme, workload))
+            : nullptr);
     System system(makeSystemConfig(scheme, workload, config));
     std::unique_ptr<WriteTraceSink> trace =
         makeTraceSink(scheme, workload, config);
@@ -126,6 +134,8 @@ runMatrixParallel(const std::vector<SchemeKind> &schemes,
                   const std::vector<std::string> &workloads,
                   const ExperimentConfig &config)
 {
+    beginProfiling(config);
+
     Matrix matrix;
     matrix.schemes = schemes;
     matrix.workloads = workloads;
@@ -201,6 +211,12 @@ runMatrixParallel(const std::vector<SchemeKind> &schemes,
     // After the barrier: the sweep index is written exactly once, in
     // canonical order, so it cannot depend on completion order.
     exportSweep(config, matrix);
+    if (profilingRequested(config)) {
+        std::vector<ProfileCell> cells;
+        for (std::size_t i = 0; i < total; ++i)
+            cells.push_back({plan[i].scheme, plan[i].workload});
+        exportProfile(config, cells);
+    }
     return matrix;
 }
 

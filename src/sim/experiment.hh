@@ -97,6 +97,22 @@ struct ExperimentConfig
      * byte-identical files at any `jobs=` value.
      */
     bool volatileManifest = false;
+    /**
+     * When non-empty, enable host-side profiling (common/profiler)
+     * and write a Chrome-trace-event JSON timeline — loadable in
+     * Perfetto or chrome://tracing — to this path after the sweep:
+     * per-thread host spans plus, when traceOutDir is also set, a
+     * sim-time occupancy track per channel synthesized from the
+     * recorded write/read traces. Unset (the default), every
+     * instrumented site costs one relaxed atomic load and simulation
+     * outputs stay byte-identical.
+     */
+    std::string profileOut;
+    /**
+     * Enable profiling and print an aggregate per-span summary to
+     * stderr after the sweep, with or without profileOut.
+     */
+    bool profileSummary = false;
 };
 
 /**

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Chrome-trace-event (Perfetto-loadable) profile export: serialize
+ * the host-side spans and counters recorded by common/profiler —
+ * one track per thread — together with a *sim-time* occupancy
+ * timeline synthesized from the per-run write/read traces the sink
+ * recorded (one process per run cell, one track per channel), so a
+ * single timeline shows both clocks side by side.
+ *
+ * Event mapping (JSON "traceEvents" array, ts/dur in microseconds):
+ *   - host span      -> "X" complete event, pid 1, tid = thread id
+ *   - host counter   -> "C" counter event, pid 1
+ *   - thread names   -> "M" thread_name metadata ("ladder-wk-3", ...)
+ *   - sim W/R event  -> "X" on pid 2+cell, tid = channel; writes
+ *                       occupy [dispatch, dispatch+tWR], reads
+ *                       [completion-latency, completion]
+ *
+ * Wall-clock timestamps make the profile inherently non-deterministic,
+ * so it is a diagnostic output: profile-out=/profile= are excluded
+ * from manifests and goldens (inManifest=false), and with both unset
+ * nothing here runs.
+ */
+
+#ifndef LADDER_SIM_PROFILE_EXPORT_HH
+#define LADDER_SIM_PROFILE_EXPORT_HH
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/profiler.hh"
+#include "sim/experiment.hh"
+
+namespace ladder
+{
+
+/** One (scheme, workload) cell whose sim trace joins the timeline. */
+using ProfileCell = std::pair<SchemeKind, std::string>;
+
+/** Whether @p config asks for profiling at all. */
+inline bool
+profilingRequested(const ExperimentConfig &config)
+{
+    return !config.profileOut.empty() || config.profileSummary;
+}
+
+/**
+ * Turn profiling on when @p config requests it and it is not already
+ * on (so a bench running several sweeps keeps accumulating into one
+ * session instead of clearing between sweeps). Called by
+ * runMatrixParallel and the single-run drivers; harmless no-op when
+ * profiling is not requested.
+ */
+void beginProfiling(const ExperimentConfig &config);
+
+/**
+ * Export everything recorded so far: write the Chrome-trace JSON to
+ * config.profileOut (when set) and print the per-span aggregate
+ * summary to stderr (when config.profileSummary). @p cells names the
+ * run cells whose recorded sim traces (under config.traceOutDir)
+ * should be synthesized into sim-time tracks. Call only after the
+ * sweep's worker pool has joined. Repeated calls rewrite the file
+ * with the cumulative session, so multi-sweep benches end with a
+ * complete profile.
+ */
+void exportProfile(const ExperimentConfig &config,
+                   const std::vector<ProfileCell> &cells);
+
+/**
+ * Serialize @p logs (plus sim tracks for @p cells) as one Chrome
+ * trace JSON document — the testable core of exportProfile.
+ */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<prof::ThreadLog> &logs,
+                      const ExperimentConfig &config,
+                      const std::vector<ProfileCell> &cells);
+
+} // namespace ladder
+
+#endif // LADDER_SIM_PROFILE_EXPORT_HH

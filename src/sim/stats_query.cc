@@ -1,0 +1,386 @@
+#include "stats_query.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+namespace ladder
+{
+
+namespace
+{
+
+/**
+ * Generic recursive flatten: objects extend the dotted prefix,
+ * arrays use the element index, numbers and bools become rows.
+ */
+void
+flattenValue(const std::string &prefix, const JsonValue &v,
+             std::map<std::string, double> &out)
+{
+    switch (v.type) {
+    case JsonValue::Type::Number:
+        out[prefix] = v.number;
+        break;
+    case JsonValue::Type::Bool:
+        out[prefix] = v.boolean ? 1.0 : 0.0;
+        break;
+    case JsonValue::Type::Object:
+        for (const auto &[k, child] : v.object)
+            flattenValue(prefix.empty() ? k : prefix + "." + k,
+                         child, out);
+        break;
+    case JsonValue::Type::Array:
+        for (std::size_t i = 0; i < v.array.size(); ++i)
+            flattenValue(prefix + "." + std::to_string(i),
+                         v.array[i], out);
+        break;
+    default:
+        break;
+    }
+}
+
+/**
+ * Flatten one StatGroup JSON node under its own group name
+ * (matching StatGroup::visit's naming), recursing into children.
+ * Histogram bucket-count arrays are omitted — per-bucket rows drown
+ * the table without being useful to diff.
+ */
+void
+flattenStatGroup(const JsonValue &group,
+                 std::map<std::string, double> &out)
+{
+    if (!group.isObject() || !group.has("name"))
+        return;
+    const std::string &name = group.at("name").string;
+    if (group.has("scalars"))
+        flattenValue(name, group.at("scalars"), out);
+    if (group.has("averages"))
+        flattenValue(name, group.at("averages"), out);
+    if (group.has("histograms") &&
+        group.at("histograms").isObject()) {
+        for (const auto &[hname, hist] :
+             group.at("histograms").object) {
+            if (!hist.isObject())
+                continue;
+            for (const auto &[field, fv] : hist.object) {
+                if (field == "counts")
+                    continue;
+                flattenValue(name + "." + hname + "." + field, fv,
+                             out);
+            }
+        }
+    }
+    if (group.has("children") && group.at("children").isArray())
+        for (const JsonValue &child : group.at("children").array)
+            flattenStatGroup(child, out);
+}
+
+std::map<std::string, double>
+flattenStatsJson(const JsonValue &doc)
+{
+    std::map<std::string, double> out;
+    if (doc.has("result"))
+        flattenValue("result", doc.at("result"), out);
+    if (doc.has("resolved_config"))
+        flattenValue("resolved_config", doc.at("resolved_config"),
+                     out);
+    if (doc.has("solver"))
+        flattenValue("solver", doc.at("solver"), out);
+    if (doc.has("stats") && doc.at("stats").isArray())
+        for (const JsonValue &group : doc.at("stats").array)
+            flattenStatGroup(group, out);
+    return out;
+}
+
+std::map<std::string, double>
+flattenSweepJson(const JsonValue &doc)
+{
+    std::map<std::string, double> out;
+    for (const JsonValue &cell : doc.at("cells").array) {
+        if (!cell.isObject() || !cell.has("run") ||
+            !cell.has("result"))
+            continue;
+        flattenValue(cell.at("run").string, cell.at("result"), out);
+    }
+    return out;
+}
+
+/** Resolve a CLI path argument to the stats file it names. */
+bool
+resolveStatsFile(const std::string &path, std::string &file,
+                 std::string &error)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+        for (const char *name : {"sweep.json", "stats.json"}) {
+            fs::path candidate = fs::path(path) / name;
+            if (fs::is_regular_file(candidate, ec)) {
+                file = candidate.string();
+                return true;
+            }
+        }
+        error = path + ": no sweep.json or stats.json inside";
+        return false;
+    }
+    if (fs::is_regular_file(path, ec)) {
+        file = path;
+        return true;
+    }
+    error = path + ": no such file or directory";
+    return false;
+}
+
+std::string
+formatValue(double v)
+{
+    std::ostringstream os;
+    os << std::setprecision(9) << v;
+    return os.str();
+}
+
+void
+printTable(std::ostream &out,
+           const std::vector<StatSource> &sources,
+           const std::string &glob)
+{
+    std::set<std::string> names;
+    for (const StatSource &src : sources)
+        for (const auto &[name, value] : src.values)
+            if (statGlobMatch(glob, name))
+                names.insert(name);
+
+    std::size_t nameWidth = 4;
+    for (const std::string &name : names)
+        nameWidth = std::max(nameWidth, name.size());
+    std::vector<std::size_t> widths;
+    for (const StatSource &src : sources)
+        widths.push_back(std::max<std::size_t>(src.label.size(), 8));
+
+    out << std::left << std::setw(static_cast<int>(nameWidth))
+        << "stat";
+    for (std::size_t i = 0; i < sources.size(); ++i)
+        out << "  " << std::right
+            << std::setw(static_cast<int>(widths[i]))
+            << sources[i].label;
+    out << "\n";
+    for (const std::string &name : names) {
+        out << std::left << std::setw(static_cast<int>(nameWidth))
+            << name;
+        for (std::size_t i = 0; i < sources.size(); ++i) {
+            auto it = sources[i].values.find(name);
+            out << "  " << std::right
+                << std::setw(static_cast<int>(widths[i]))
+                << (it != sources[i].values.end()
+                        ? formatValue(it->second)
+                        : "-");
+        }
+        out << "\n";
+    }
+    out << "(" << names.size() << " stats x " << sources.size()
+        << " runs)\n";
+}
+
+int
+usage(std::ostream &err)
+{
+    err << "usage: ladder_query [GLOB] PATH...\n"
+           "       ladder_query diff [GLOB] BASE OTHER "
+           "[threshold=REL]\n"
+           "PATH: a sweep.json/stats.json file or a directory "
+           "holding one.\n"
+           "GLOB: stat-name filter with * and ? (quote it). diff "
+           "exits 1\n"
+           "when any selected stat moves by more than REL (default "
+           "0.02)\nrelative to BASE.\n";
+    return 2;
+}
+
+} // namespace
+
+bool
+statGlobMatch(const std::string &pattern, const std::string &name)
+{
+    if (pattern.empty())
+        return true;
+    // Iterative wildcard match with the classic star-backtrack.
+    std::size_t p = 0, n = 0;
+    std::size_t starP = std::string::npos, starN = 0;
+    while (n < name.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == '?' || pattern[p] == name[n])) {
+            ++p;
+            ++n;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            starP = p++;
+            starN = n;
+        } else if (starP != std::string::npos) {
+            p = starP + 1;
+            n = ++starN;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+std::map<std::string, double>
+flattenStatsDocument(const JsonValue &doc)
+{
+    if (!doc.isObject())
+        return {};
+    if (doc.has("cells") && doc.at("cells").isArray())
+        return flattenSweepJson(doc);
+    return flattenStatsJson(doc);
+}
+
+bool
+loadStatSource(const std::string &path, StatSource &out,
+               std::string &error)
+{
+    std::string file;
+    if (!resolveStatsFile(path, file, error))
+        return false;
+    std::ifstream is(file);
+    if (!is.good()) {
+        error = file + ": cannot open";
+        return false;
+    }
+    std::ostringstream text;
+    text << is.rdbuf();
+    out.label = path;
+    while (out.label.size() > 1 && out.label.back() == '/')
+        out.label.pop_back();
+    out.values = flattenStatsDocument(parseJson(text.str()));
+    if (out.values.empty()) {
+        error = file + ": no numeric stats found "
+                       "(not a sweep.json/stats.json?)";
+        return false;
+    }
+    return true;
+}
+
+std::vector<StatDiff>
+diffStatSources(const StatSource &base, const StatSource &other,
+                const std::string &glob, double threshold)
+{
+    std::vector<StatDiff> diffs;
+    for (const auto &[name, baseValue] : base.values) {
+        if (!statGlobMatch(glob, name))
+            continue;
+        auto it = other.values.find(name);
+        if (it == other.values.end())
+            continue;
+        StatDiff d;
+        d.name = name;
+        d.base = baseValue;
+        d.other = it->second;
+        if (baseValue != 0.0)
+            d.relDelta = (d.other - d.base) / std::abs(d.base);
+        else
+            d.relDelta = d.other == 0.0 ? 0.0 : std::abs(d.other);
+        d.flagged = std::abs(d.relDelta) > threshold;
+        diffs.push_back(std::move(d));
+    }
+    return diffs;
+}
+
+int
+ladderQueryMain(const std::vector<std::string> &args,
+                std::ostream &out, std::ostream &err)
+{
+    std::vector<std::string> positional;
+    double threshold = 0.02;
+    bool diffMode = false;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (i == 0 && arg == "diff") {
+            diffMode = true;
+        } else if (arg.rfind("threshold=", 0) == 0) {
+            char *end = nullptr;
+            const std::string text = arg.substr(10);
+            threshold = std::strtod(text.c_str(), &end);
+            if (end == text.c_str() || *end != '\0' ||
+                threshold < 0.0) {
+                err << "ladder_query: bad threshold '" << text
+                    << "'\n";
+                return 2;
+            }
+        } else if (arg == "--help" || arg == "-h") {
+            usage(err);
+            return 0;
+        } else {
+            positional.push_back(arg);
+        }
+    }
+
+    // A leading positional that exists on disk is a PATH; anything
+    // else is the stat-name glob.
+    std::string glob;
+    if (!positional.empty()) {
+        std::error_code ec;
+        if (!std::filesystem::exists(positional.front(), ec)) {
+            glob = positional.front();
+            positional.erase(positional.begin());
+        }
+    }
+
+    if (positional.empty() || (diffMode && positional.size() != 2))
+        return usage(err);
+
+    std::vector<StatSource> sources;
+    for (const std::string &path : positional) {
+        StatSource src;
+        std::string error;
+        if (!loadStatSource(path, src, error)) {
+            err << "ladder_query: " << error << "\n";
+            return 2;
+        }
+        sources.push_back(std::move(src));
+    }
+
+    if (!diffMode) {
+        printTable(out, sources, glob);
+        return 0;
+    }
+
+    std::vector<StatDiff> diffs =
+        diffStatSources(sources[0], sources[1], glob, threshold);
+    std::size_t flagged = 0;
+    std::size_t nameWidth = 4;
+    for (const StatDiff &d : diffs)
+        nameWidth = std::max(nameWidth, d.name.size());
+    out << std::left << std::setw(static_cast<int>(nameWidth))
+        << "stat"
+        << "  " << std::right << std::setw(14) << sources[0].label
+        << "  " << std::setw(14) << sources[1].label << "  "
+        << std::setw(9) << "rel" << "\n";
+    for (const StatDiff &d : diffs) {
+        out << std::left << std::setw(static_cast<int>(nameWidth))
+            << d.name << "  " << std::right << std::setw(14)
+            << formatValue(d.base) << "  " << std::setw(14)
+            << formatValue(d.other) << "  " << std::setw(8)
+            << std::fixed << std::setprecision(2)
+            << d.relDelta * 100.0 << "%";
+        out.unsetf(std::ios::floatfield);
+        if (d.flagged) {
+            out << "  REGRESSION";
+            ++flagged;
+        }
+        out << "\n";
+    }
+    out << "(" << diffs.size() << " stats compared, " << flagged
+        << " beyond " << threshold * 100.0 << "% threshold)\n";
+    return flagged == 0 ? 0 : 1;
+}
+
+} // namespace ladder

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Cross-run stats querying: load any number of sweep.json /
+ * stats.json files (see stats_export.hh for the schemas), flatten
+ * each into a dotted-name -> value map, select names with shell-style
+ * globs, and diff two runs with a relative regression threshold.
+ * This is the engine behind the `ladder_query` CLI; it lives in the
+ * library so tests can drive the exact merge/select/diff logic (and
+ * the CLI exit codes) against committed fixtures.
+ *
+ * Flattened names:
+ *   stats.json  -> result.ipc, resolved_config.ctrl.queue-depth,
+ *                  solver.cg_iterations, ctrl.write_latency.mean
+ *                  (stat groups under their own group name, averages
+ *                  as .mean/.min/.max/.sum/.count, histogram bucket
+ *                  count arrays omitted)
+ *   sweep.json  -> <run>.ipc, <run>.avg_read_latency_ns, ... per cell
+ *                  (run = "<scheme>__<workload>")
+ */
+
+#ifndef LADDER_SIM_STATS_QUERY_HH
+#define LADDER_SIM_STATS_QUERY_HH
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace ladder
+{
+
+/** One loaded run: label (the CLI argument) plus flat stats. */
+struct StatSource
+{
+    std::string label;
+    std::map<std::string, double> values;
+};
+
+/**
+ * Shell-style glob over stat names: `*` matches any run of
+ * characters (including '.'), `?` any single character; everything
+ * else is literal. An empty pattern matches everything.
+ */
+bool statGlobMatch(const std::string &pattern,
+                   const std::string &name);
+
+/**
+ * Flatten one parsed sweep.json or stats.json document
+ * (auto-detected by shape) into dotted names. Documents of neither
+ * shape yield an empty map.
+ */
+std::map<std::string, double>
+flattenStatsDocument(const JsonValue &doc);
+
+/**
+ * Load @p path — a sweep.json/stats.json file, or a directory
+ * containing one (sweep.json preferred) — into @p out. Returns false
+ * with @p error set when no stats file is found or it is empty.
+ */
+bool loadStatSource(const std::string &path, StatSource &out,
+                    std::string &error);
+
+/** One stat compared across two sources (diff mode). */
+struct StatDiff
+{
+    std::string name;
+    double base = 0.0;
+    double other = 0.0;
+    /** (other-base)/|base|; |other| when base == 0. */
+    double relDelta = 0.0;
+    /** |relDelta| exceeded the threshold. */
+    bool flagged = false;
+};
+
+/**
+ * Compare every glob-selected stat present in both sources. The
+ * returned rows are name-ordered; `flagged` marks moves beyond
+ * @p threshold in either direction.
+ */
+std::vector<StatDiff> diffStatSources(const StatSource &base,
+                                      const StatSource &other,
+                                      const std::string &glob,
+                                      double threshold);
+
+/**
+ * The full `ladder_query` command: parse @p args (everything after
+ * argv[0]), print the merged table or diff to @p out and errors to
+ * @p err, and return the process exit code — 0 clean, 1 when a diff
+ * found a regression, 2 on usage or load errors.
+ *
+ *   ladder_query [GLOB] PATH...            merge into one table
+ *   ladder_query diff [GLOB] A B
+ *                [threshold=REL]           flag |rel delta|>REL (0.02)
+ *
+ * GLOB is any leading positional that does not name an existing
+ * file or directory.
+ */
+int ladderQueryMain(const std::vector<std::string> &args,
+                    std::ostream &out, std::ostream &err);
+
+} // namespace ladder
+
+#endif // LADDER_SIM_STATS_QUERY_HH

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * ladder_query engine tests against the committed fixtures in
+ * tests/data/query: glob matching, sweep.json flattening, multi-run
+ * merge, and the diff exit-code contract (0 clean / 1 regression /
+ * 2 usage-or-load error) that CI relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/stats_query.hh"
+
+using namespace ladder;
+
+namespace
+{
+
+const std::string runA =
+    std::string(LADDER_QUERY_FIXTURES) + "/runA";
+const std::string runB =
+    std::string(LADDER_QUERY_FIXTURES) + "/runB";
+
+int
+runQuery(const std::vector<std::string> &args,
+         std::string *outText = nullptr,
+         std::string *errText = nullptr)
+{
+    std::ostringstream out, err;
+    int rc = ladderQueryMain(args, out, err);
+    if (outText)
+        *outText = out.str();
+    if (errText)
+        *errText = err.str();
+    return rc;
+}
+
+} // namespace
+
+TEST(StatGlob, Basics)
+{
+    EXPECT_TRUE(statGlobMatch("", "anything.at.all"));
+    EXPECT_TRUE(statGlobMatch("*", "anything"));
+    EXPECT_TRUE(statGlobMatch("ctrl.*latency*",
+                              "ctrl.write_latency.mean"));
+    EXPECT_FALSE(statGlobMatch("ctrl.*latency*",
+                               "cache.l2_misses"));
+    EXPECT_TRUE(statGlobMatch("*.ipc", "baseline__astar.ipc"));
+    EXPECT_FALSE(statGlobMatch("*.ipc", "ipc"));
+    EXPECT_TRUE(statGlobMatch("a?c", "abc"));
+    EXPECT_FALSE(statGlobMatch("a?c", "ac"));
+    EXPECT_TRUE(statGlobMatch("a*b*c", "a.x.b.y.c"));
+    EXPECT_FALSE(statGlobMatch("a*b*c", "a.x.c"));
+}
+
+TEST(StatSource, LoadsSweepJsonFromDirectory)
+{
+    StatSource src;
+    std::string error;
+    ASSERT_TRUE(loadStatSource(runA, src, error)) << error;
+    EXPECT_DOUBLE_EQ(src.values.at("LADDER-Hybrid__astar.ipc"),
+                     1.1);
+    EXPECT_DOUBLE_EQ(src.values.at("baseline__astar.data_reads"),
+                     1000.0);
+    // Every cell flattened: 2 cells x 5 result fields.
+    EXPECT_EQ(src.values.size(), 10u);
+}
+
+TEST(StatSource, LoadErrorsAreReported)
+{
+    StatSource src;
+    std::string error;
+    EXPECT_FALSE(loadStatSource(runA + "/nope", src, error));
+    EXPECT_NE(error.find("no such file"), std::string::npos);
+}
+
+TEST(StatDiffTest, FlagsOnlyMovesBeyondThreshold)
+{
+    StatSource a, b;
+    std::string error;
+    ASSERT_TRUE(loadStatSource(runA, a, error)) << error;
+    ASSERT_TRUE(loadStatSource(runB, b, error)) << error;
+    std::vector<StatDiff> diffs = diffStatSources(a, b, "", 0.02);
+    ASSERT_EQ(diffs.size(), 10u);
+    int flagged = 0;
+    for (const StatDiff &d : diffs) {
+        if (d.name == "LADDER-Hybrid__astar.ipc") {
+            // 1.1 -> 0.99: a 10% regression.
+            EXPECT_NEAR(d.relDelta, -0.1, 1e-9);
+            EXPECT_TRUE(d.flagged);
+        }
+        if (d.name == "LADDER-Hybrid__astar.data_writes") {
+            // 400 -> 401: 0.25%, inside a 2% threshold.
+            EXPECT_FALSE(d.flagged);
+        }
+        flagged += d.flagged ? 1 : 0;
+    }
+    // ipc and avg_read_latency_ns moved ~10%; nothing else did.
+    EXPECT_EQ(flagged, 2);
+}
+
+TEST(QueryCli, MergesRunsIntoOneTable)
+{
+    std::string out;
+    ASSERT_EQ(runQuery({runA, runB}, &out), 0);
+    EXPECT_NE(out.find("baseline__astar.ipc"), std::string::npos);
+    EXPECT_NE(out.find("runA"), std::string::npos);
+    EXPECT_NE(out.find("runB"), std::string::npos);
+    EXPECT_NE(out.find("10 stats x 2 runs"), std::string::npos);
+}
+
+TEST(QueryCli, GlobSelectsRows)
+{
+    std::string out;
+    ASSERT_EQ(runQuery({"*.ipc", runA, runB}, &out), 0);
+    EXPECT_NE(out.find("2 stats x 2 runs"), std::string::npos);
+    EXPECT_EQ(out.find("data_reads"), std::string::npos);
+}
+
+TEST(QueryCli, DiffExitCodeTracksThreshold)
+{
+    std::string out;
+    // 10% moves beyond a 2% threshold: regression exit.
+    EXPECT_EQ(runQuery({"diff", runA, runB, "threshold=0.02"},
+                       &out),
+              1);
+    EXPECT_NE(out.find("REGRESSION"), std::string::npos);
+    // A 20% threshold tolerates every move in the fixtures.
+    EXPECT_EQ(runQuery({"diff", runA, runB, "threshold=0.2"}), 0);
+    // Glob restricting to an unmoved stat also passes.
+    EXPECT_EQ(runQuery({"diff", "*data_reads", runA, runB,
+                        "threshold=0.02"}),
+              0);
+    // Identical runs never flag.
+    EXPECT_EQ(runQuery({"diff", runA, runA, "threshold=0.0"}), 0);
+}
+
+TEST(QueryCli, UsageAndLoadErrorsExitTwo)
+{
+    std::string err;
+    EXPECT_EQ(runQuery({}, nullptr, &err), 2);
+    EXPECT_NE(err.find("usage:"), std::string::npos);
+    EXPECT_EQ(runQuery({"diff", runA}, nullptr, &err), 2);
+    EXPECT_EQ(runQuery({runA + "/missing-dir"}, nullptr, &err), 2);
+    EXPECT_EQ(runQuery({"diff", runA, runB, "threshold=bogus"},
+                       nullptr, &err),
+              2);
+}

@@ -22,6 +22,7 @@
 #include "common/rng.hh"
 #include "ctrl/trace_reader.hh"
 #include "ctrl/trace_sink.hh"
+#include "ctrl/trace_wire.hh"
 
 namespace fs = std::filesystem;
 
@@ -476,6 +477,109 @@ TEST(TraceSummary, AggregatesMatchHandComputation)
     EXPECT_EQ(s.lastTick, records.back().tick);
     EXPECT_EQ(s.maxWriteLatencyNs, maxWrite);
     EXPECT_EQ(s.maxQueueDepth, maxQueue);
+}
+
+/** 32 records, ticks 0,100,...,3100, in 4 chunks of 8. */
+std::vector<CtrlTraceRecord>
+windowRecords()
+{
+    std::vector<CtrlTraceRecord> records;
+    for (std::size_t i = 0; i < 32; ++i) {
+        CtrlTraceRecord r;
+        r.tick = i * 100;
+        r.kind = i % 2 == 0 ? CtrlTraceRecord::Kind::Write
+                            : CtrlTraceRecord::Kind::Read;
+        r.channel = static_cast<std::uint8_t>(i % 4);
+        r.lrsCount = static_cast<std::uint16_t>(i);
+        r.latencyNs = 10.0f;
+        records.push_back(r);
+    }
+    return records;
+}
+
+TEST(TraceWindow, SkipsChunksOutsideTheTickWindow)
+{
+    auto records = windowRecords();
+    const std::string bytes = serializeV2(records, 8);
+
+    // Window covering exactly chunk 1 (ticks 800..1500).
+    TraceReader reader;
+    ASSERT_TRUE(reader.openBuffer(bytes)) << reader.error();
+    reader.setTickWindow(800, 1500);
+    CtrlTraceRecord rec;
+    std::size_t i = 8;
+    while (reader.next(rec))
+        expectSameRecord(rec, records[i++], i);
+    EXPECT_TRUE(reader.ok()) << reader.error();
+    EXPECT_EQ(i, 16u);
+    // Only the one overlapping chunk was ever CRC-checked/decoded.
+    EXPECT_EQ(reader.chunksDecoded(), 1u);
+    EXPECT_EQ(reader.recordsRead(), 8u);
+
+    // A boundary window delivers the *whole* overlapping chunks:
+    // [750, 850] only intersects chunk 1's range, and the caller is
+    // responsible for per-record trimming.
+    ASSERT_TRUE(reader.openBuffer(bytes)) << reader.error();
+    reader.setTickWindow(750, 850);
+    std::size_t delivered = 0;
+    while (reader.next(rec))
+        ++delivered;
+    EXPECT_TRUE(reader.ok()) << reader.error();
+    EXPECT_EQ(delivered, 8u);
+    EXPECT_EQ(reader.chunksDecoded(), 1u);
+
+    // An empty window decodes nothing.
+    ASSERT_TRUE(reader.openBuffer(bytes)) << reader.error();
+    reader.setTickWindow(10'000, 20'000);
+    EXPECT_FALSE(reader.next(rec));
+    EXPECT_TRUE(reader.ok()) << reader.error();
+    EXPECT_EQ(reader.chunksDecoded(), 0u);
+
+    // No window (or re-open) scans everything.
+    ASSERT_TRUE(reader.openBuffer(bytes)) << reader.error();
+    delivered = 0;
+    while (reader.next(rec))
+        ++delivered;
+    EXPECT_EQ(delivered, 32u);
+    EXPECT_EQ(reader.chunksDecoded(), 4u);
+}
+
+TEST(TraceWindow, SkippedChunksAreNeverCrcCheckedOrDecoded)
+{
+    auto records = windowRecords();
+    std::string bytes = serializeV2(records, 8);
+
+    // Corrupt a *payload* byte of chunk 2 — the lrsCount field of
+    // its fourth record, well away from the peeked tick bytes — so
+    // any CRC check or decode of that chunk must fail.
+    const std::size_t chunkBytes =
+        traceChunkHeaderBytes + 8 * traceRecordBytes;
+    const std::size_t corruptAt = traceFileHeaderBytes +
+                                  2 * chunkBytes +
+                                  traceChunkHeaderBytes +
+                                  3 * traceRecordBytes + 14;
+    bytes[corruptAt] = static_cast<char>(bytes[corruptAt] ^ 0x5A);
+
+    // A full scan trips over the corruption...
+    TraceReader reader;
+    ASSERT_TRUE(reader.openBuffer(bytes)) << reader.error();
+    CtrlTraceRecord rec;
+    while (reader.next(rec)) {
+    }
+    EXPECT_FALSE(reader.ok());
+    EXPECT_NE(reader.error().find("CRC"), std::string::npos)
+        << reader.error();
+
+    // ...but a windowed scan that excludes chunk 2 never touches it:
+    // the corrupt chunk is skipped from the 16-byte tick peek alone.
+    ASSERT_TRUE(reader.openBuffer(bytes)) << reader.error();
+    reader.setTickWindow(0, 1500); // chunks 0 and 1 only
+    std::size_t i = 0;
+    while (reader.next(rec))
+        expectSameRecord(rec, records[i++], i);
+    EXPECT_TRUE(reader.ok()) << reader.error();
+    EXPECT_EQ(i, 16u);
+    EXPECT_EQ(reader.chunksDecoded(), 2u);
 }
 
 } // namespace
