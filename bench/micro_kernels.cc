@@ -13,6 +13,7 @@
 #include "ctrl/fnw.hh"
 #include "ctrl/metadata_cache.hh"
 #include "mem/backing_store.hh"
+#include "reram/latency_surface.hh"
 #include "reram/timing_tables.hh"
 #include "schemes/fpc.hh"
 #include "schemes/partial_counter.hh"
@@ -104,6 +105,78 @@ BM_TimingTableLookup(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TimingTableLookup);
+
+void
+BM_LatencySurfaceLookup(benchmark::State &state)
+{
+    const TimingModel &model = cachedTimingModel(CrossbarParams{});
+    Rng rng(6);
+    for (auto _ : state) {
+        unsigned wl = static_cast<unsigned>(rng.nextBounded(512));
+        unsigned bl = static_cast<unsigned>(rng.nextBounded(512));
+        unsigned c = static_cast<unsigned>(rng.nextBounded(513));
+        benchmark::DoNotOptimize(model.ladderSurface->lookup(wl, bl, c));
+    }
+}
+BENCHMARK(BM_LatencySurfaceLookup);
+
+void
+BM_LatencySurfaceLookupBatch(benchmark::State &state)
+{
+    const TimingModel &model = cachedTimingModel(CrossbarParams{});
+    Rng rng(6);
+    std::vector<SurfaceQuery> queries(256);
+    for (auto &q : queries)
+        q = SurfaceQuery{
+            static_cast<unsigned>(rng.nextBounded(512)),
+            static_cast<unsigned>(rng.nextBounded(512)),
+            static_cast<unsigned>(rng.nextBounded(513))};
+    std::vector<TimingEntry> out(queries.size());
+    for (auto _ : state) {
+        model.ladderSurface->lookupBatch(queries.data(),
+                                         queries.size(), out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(queries.size()));
+}
+BENCHMARK(BM_LatencySurfaceLookupBatch);
+
+void
+BM_PopcountLineScalar(benchmark::State &state)
+{
+    Rng rng(1);
+    LineData line = randomLine(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(popcountLineScalar(line));
+}
+BENCHMARK(BM_PopcountLineScalar);
+
+void
+BM_PopcountLineAvx2(benchmark::State &state)
+{
+    if (!bitopsHaveAvx2()) {
+        state.SkipWithError("AVX2 unavailable on this host");
+        return;
+    }
+    Rng rng(1);
+    LineData line = randomLine(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(popcountLineAvx2(line));
+}
+BENCHMARK(BM_PopcountLineAvx2);
+
+void
+BM_CountTransitions(benchmark::State &state)
+{
+    Rng rng(10);
+    LineData before = randomLine(rng);
+    LineData after = randomLine(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(countTransitions(before, after));
+}
+BENCHMARK(BM_CountTransitions);
 
 void
 BM_FastModelEvaluate(benchmark::State &state)

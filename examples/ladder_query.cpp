@@ -8,6 +8,8 @@
  *   ./ladder_query runA/stats runB/stats
  *   ./ladder_query 'ctrl.*latency*' runA/ runB/
  *   ./ladder_query diff base/ candidate/ threshold=0.05
+ *   ./ladder_query runA/ runB/ format=csv
+ *   ./ladder_query diff base/ candidate/ format=json
  *
  * Diff mode exits 1 when any selected stat moved beyond the
  * threshold (default 2%) relative to the first run — wire it into CI

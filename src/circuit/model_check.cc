@@ -1,0 +1,90 @@
+#include "model_check.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace ladder
+{
+
+namespace
+{
+
+/** @p steps endpoint-inclusive samples of [0, maxValue]. */
+std::vector<unsigned>
+axisSamples(unsigned steps, unsigned maxValue)
+{
+    std::vector<unsigned> out;
+    if (steps <= 1 || maxValue == 0) {
+        out.push_back(0);
+        if (maxValue > 0)
+            out.push_back(maxValue);
+        return out;
+    }
+    for (unsigned i = 0; i < steps; ++i)
+        out.push_back(static_cast<unsigned>(
+            static_cast<std::size_t>(i) * maxValue / (steps - 1)));
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+} // namespace
+
+ModelAgreement
+checkEvaluatorAgreement(const CrossbarParams &params,
+                        const ResetLatencyLaw &law,
+                        const CircuitEvaluator &reference,
+                        const CircuitEvaluator &candidate,
+                        unsigned locationSteps, unsigned contentSteps,
+                        double relLatencyBudget)
+{
+    ladder_assert(locationSteps > 0 && contentSteps > 0,
+                  "agreement sweep needs at least one step per axis");
+    ModelAgreement agg;
+    agg.budget = relLatencyBudget;
+    const unsigned rows = static_cast<unsigned>(params.rows);
+    const unsigned cols = static_cast<unsigned>(params.cols);
+    const unsigned slots =
+        cols / static_cast<unsigned>(params.selectedCells);
+
+    const auto wls = axisSamples(locationSteps, rows - 1);
+    const auto slotsAxis = axisSamples(locationSteps, slots - 1);
+    const auto wlCounts = axisSamples(contentSteps, cols);
+    const auto blCounts = axisSamples(contentSteps, rows);
+
+    double maxMagnitude = 0.0;
+    for (unsigned wl : wls) {
+        for (unsigned slot : slotsAxis) {
+            for (unsigned cw : wlCounts) {
+                for (unsigned cbl : blCounts) {
+                    ResetCondition cond;
+                    cond.wordline = wl;
+                    cond.byteOffset = slot;
+                    cond.wlLrsCount = cw;
+                    cond.blLrsCount = cbl;
+                    ResetEvaluation re = reference(cond);
+                    ResetEvaluation ce = candidate(cond);
+                    double refNs = law.latencyNs(re.minDropVolts);
+                    double candNs = law.latencyNs(ce.minDropVolts);
+                    ladder_assert(refNs > 0.0,
+                                  "reference latency must be positive");
+                    double rel = (candNs - refNs) / refNs;
+                    ++agg.points;
+                    agg.maxAbsDropDeltaVolts = std::max(
+                        agg.maxAbsDropDeltaVolts,
+                        std::abs(re.minDropVolts - ce.minDropVolts));
+                    if (std::abs(rel) > std::abs(maxMagnitude))
+                        maxMagnitude = rel;
+                    if (std::abs(rel) > relLatencyBudget)
+                        ++agg.violations;
+                }
+            }
+        }
+    }
+    agg.maxRelLatencyError = maxMagnitude;
+    return agg;
+}
+
+} // namespace ladder

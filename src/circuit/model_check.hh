@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Evaluator-agreement cross-check: sweep two circuit evaluators (the
+ * fast sneak-path model and the full MNA solver, or any other pair
+ * that evaluates a ResetCondition) over a (location × content) grid
+ * and bound how far apart the latencies they imply are, under an
+ * explicit relative error budget.
+ *
+ * This is the circuit-layer contract behind the precomputed latency
+ * surfaces: the surfaces are generated from the fast model, so the
+ * surface's physical fidelity is exactly the fast model's agreement
+ * with MNA — which this API measures and test_latency_surface
+ * enforces. The grid always includes both endpoints of every axis
+ * (wordline 0 / rows-1, slot 0 / last, LRS 0 / max), so the boundary
+ * operating points are always checked.
+ */
+
+#ifndef LADDER_CIRCUIT_MODEL_CHECK_HH
+#define LADDER_CIRCUIT_MODEL_CHECK_HH
+
+#include <cstddef>
+#include <functional>
+
+#include "cell_model.hh"
+#include "latency.hh"
+#include "reset_condition.hh"
+
+namespace ladder
+{
+
+/** Callable evaluating the circuit at one operating point (same shape
+ * as the reram layer's ResetEvaluator). */
+using CircuitEvaluator =
+    std::function<ResetEvaluation(const ResetCondition &)>;
+
+/** Outcome of an evaluator-agreement sweep. */
+struct ModelAgreement
+{
+    std::size_t points = 0;
+    std::size_t violations = 0;
+    /** Largest |drop(reference) - drop(candidate)| seen (V). */
+    double maxAbsDropDeltaVolts = 0.0;
+    /** Signed relative latency error with the largest magnitude:
+     * (candidate - reference) / reference. */
+    double maxRelLatencyError = 0.0;
+    double budget = 0.0;
+
+    bool ok() const { return points > 0 && violations == 0; }
+};
+
+/**
+ * Sweep @p reference and @p candidate over a grid of
+ * @p locationSteps × @p locationSteps × @p contentSteps ×
+ * @p contentSteps operating points (wordline × byte slot × WL LRS ×
+ * BL LRS, each axis sampled endpoint-inclusive) and flag points where
+ * the law-mapped latencies disagree by more than @p relLatencyBudget
+ * relative to the reference.
+ */
+ModelAgreement checkEvaluatorAgreement(const CrossbarParams &params,
+                                       const ResetLatencyLaw &law,
+                                       const CircuitEvaluator &reference,
+                                       const CircuitEvaluator &candidate,
+                                       unsigned locationSteps,
+                                       unsigned contentSteps,
+                                       double relLatencyBudget);
+
+} // namespace ladder
+
+#endif // LADDER_CIRCUIT_MODEL_CHECK_HH

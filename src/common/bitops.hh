@@ -3,6 +3,25 @@
  * Bit-manipulation utilities used throughout the LADDER stack: popcounts
  * at byte/line granularity, per-byte maxima, and the bit-level rotation
  * primitive used by the intra-line shifting optimization (paper §4.1).
+ *
+ * The line-granularity counting kernels (popcountLine, popcountRange,
+ * hammingLine, countTransitions) are the content-scan hot path of the
+ * write pipeline: every write performs several of them. Each has three
+ * implementations:
+ *
+ *  - a byte-wise *scalar reference* (`...Scalar`), kept as the
+ *    semantic specification and used by the property tests;
+ *  - a portable uint64-lane version (`std::popcount` over 8-byte
+ *    words, partial words masked at unaligned range endpoints);
+ *  - an AVX2 kernel (nibble-LUT `pshufb` byte popcount + `psadbw`
+ *    horizontal sum) selected by *runtime* dispatch on x86-64, so one
+ *    binary runs everywhere. Set LADDER_NO_AVX2=1 to pin the portable
+ *    path (e.g. when bisecting a vectorization bug).
+ *
+ * All three return identical results for all inputs — they count set
+ * bits, so there is no floating-point reassociation to worry about —
+ * and the equivalence is enforced by an exhaustive sweep in
+ * test_bitops (run under ASan/UBSan in CI).
  */
 
 #ifndef LADDER_COMMON_BITOPS_HH
@@ -28,6 +47,13 @@ popcount8(std::uint8_t v)
     return static_cast<unsigned>(std::popcount(v));
 }
 
+/**
+ * Whether the AVX2 kernels are compiled in *and* selected at runtime
+ * (CPU support present, LADDER_NO_AVX2 unset). Decided once per
+ * process, before the first counting call.
+ */
+bool bitopsHaveAvx2();
+
 /** Number of set bits in an entire 64-byte line. */
 unsigned popcountLine(const LineData &line);
 
@@ -52,6 +78,28 @@ struct BitTransitions
 
 BitTransitions countTransitions(const LineData &before,
                                 const LineData &after);
+
+// --------------------------------------------------------------------
+// Scalar reference implementations (the specification the dispatched
+// kernels are tested against; byte-at-a-time, no word tricks).
+// --------------------------------------------------------------------
+
+unsigned popcountLineScalar(const LineData &line);
+unsigned popcountRangeScalar(const LineData &line, size_t first,
+                             size_t last);
+unsigned hammingLineScalar(const LineData &a, const LineData &b);
+BitTransitions countTransitionsScalar(const LineData &before,
+                                      const LineData &after);
+
+// --------------------------------------------------------------------
+// AVX2 kernels (valid to call only when bitopsHaveAvx2(); exposed so
+// the equivalence tests can pin the vector path explicitly).
+// --------------------------------------------------------------------
+
+unsigned popcountLineAvx2(const LineData &line);
+unsigned hammingLineAvx2(const LineData &a, const LineData &b);
+BitTransitions countTransitionsAvx2(const LineData &before,
+                                    const LineData &after);
 
 /** Bitwise NOT of an entire line. */
 LineData invertLine(const LineData &line);

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/profiler.hh"
+#include "reram/latency_surface.hh"
 
 namespace ladder
 {
@@ -555,14 +557,48 @@ MemoryController::completeRead(ReadEntry entry, Tick when)
     requestSchedule();
 }
 
+const TimingEntry &
+MemoryController::ladderTiming(unsigned wordline, unsigned bitline,
+                               unsigned lrsCount) const
+{
+    if (cfg_.latencySurface && timing_.ladderSurface) {
+        PROF_COUNTER("surface_lookups", 1.0);
+        return timing_.ladderSurface->lookup(wordline, bitline,
+                                             lrsCount);
+    }
+    return timing_.ladder.lookup(wordline, bitline, lrsCount);
+}
+
+const TimingEntry &
+MemoryController::blpTiming(unsigned wordline, unsigned bitline,
+                            unsigned lrsCount) const
+{
+    if (cfg_.latencySurface && timing_.blpSurface) {
+        PROF_COUNTER("surface_lookups", 1.0);
+        return timing_.blpSurface->lookup(wordline, bitline, lrsCount);
+    }
+    return timing_.blp.lookup(wordline, bitline, lrsCount);
+}
+
+const TimingEntry &
+MemoryController::locationTiming(unsigned wordline,
+                                 unsigned bitline) const
+{
+    if (cfg_.latencySurface && timing_.locationSurface) {
+        PROF_COUNTER("surface_lookups", 1.0);
+        return timing_.locationSurface->lookup(wordline, bitline, 0);
+    }
+    return timing_.location.lookup(wordline, bitline, 0);
+}
+
 double
 MemoryController::metadataWriteLatencyNs(const BlockLocation &loc,
                                          double &powerMw) const
 {
     // Metadata blocks have no LRS counters of their own: downgrade to
     // the location-only (content worst-cased) model (paper §3.3).
-    const TimingEntry &entry = timing_.location.lookup(
-        loc.wordline, loc.worstBitline(), 0);
+    const TimingEntry &entry =
+        locationTiming(loc.wordline, loc.worstBitline());
     powerMw = entry.powerMw;
     return entry.latencyNs;
 }
@@ -625,18 +661,22 @@ MemoryController::issueOneWrite()
         if (fnw.flipCancelled)
             ++fnwCancelled;
 
+        // One ground-truth content scan per dispatch, shared by the
+        // scheme decision, power accounting, and the trace record
+        // (the store cannot change before completeWrite persists).
+        taken.dispatchCw = store_.maxMatLrsCount(taken.loc.pageIndex);
+        taken.dispatchCbl = store_.maxSelectedBitlineLrs(taken.addr);
+
         WriteDecision decision =
             scheme_->decideWrite(*this, taken, fnw.data);
         // Energy uses the scheme-independent content-true power model
         // so Fig. 17 comparisons are fair across schemes.
         if (!timing_.power.empty()) {
-            unsigned trueCw =
-                store_.maxMatLrsCount(taken.loc.pageIndex);
-            unsigned trueCbl = store_.maxSelectedBitlineLrs(taken.addr);
             decision.powerMw =
                 timing_.power.lookup(taken.loc.wordline,
-                                     taken.loc.worstBitline(), trueCw,
-                                     trueCbl) *
+                                     taken.loc.worstBitline(),
+                                     taken.dispatchCw,
+                                     taken.dispatchCbl) *
                 decision.powerScale;
         }
 
@@ -648,8 +688,7 @@ MemoryController::issueOneWrite()
             r.wordline = static_cast<std::uint16_t>(taken.loc.wordline);
             r.bitline =
                 static_cast<std::uint16_t>(taken.loc.worstBitline());
-            r.lrsCount = static_cast<std::uint16_t>(
-                store_.maxMatLrsCount(taken.loc.pageIndex));
+            r.lrsCount = static_cast<std::uint16_t>(taken.dispatchCw);
             r.latencyNs = static_cast<float>(decision.latencyNs);
             r.queueDepth =
                 static_cast<std::uint32_t>(writeQueue_.size());

@@ -80,6 +80,14 @@ struct ControllerConfig
     FnwMode fnwMode = FnwMode::Classical;
     double readEnergyPj = 250.0;   //!< per demand/metadata/SMB read
     double transitionEnergyPj = 1.0; //!< per cell switched
+    /**
+     * Resolve per-write timings through the dense precomputed latency
+     * surfaces (O(1): two index loads + one entry load) instead of the
+     * bucketed table lookups. Bit-identical results either way — the
+     * surfaces are dense copies of the tables — so this is purely a
+     * host-performance switch (`latency.surface=` in experiments).
+     */
+    bool latencySurface = true;
 };
 
 /** Per-channel memory controller. */
@@ -127,6 +135,24 @@ class MemoryController
 
     BackingStore &store() { return store_; }
     const TimingModel &timing() const { return timing_; }
+
+    /** Whether timing lookups resolve through the dense surfaces. */
+    bool surfaceEnabled() const { return cfg_.latencySurface; }
+
+    /**
+     * Timing lookups for schemes: the ⟨WL, BL, LRS⟩ -> entry
+     * resolution, through the dense surface when enabled and the
+     * bucketed table otherwise (identical results by construction).
+     * Schemes should call these instead of touching timing().ladder
+     * and friends so every dispatch honours the surface switch.
+     */
+    const TimingEntry &ladderTiming(unsigned wordline,
+                                    unsigned bitline,
+                                    unsigned lrsCount) const;
+    const TimingEntry &blpTiming(unsigned wordline, unsigned bitline,
+                                 unsigned lrsCount) const;
+    const TimingEntry &locationTiming(unsigned wordline,
+                                      unsigned bitline) const;
     MetadataCache &metadataCache() { return metaCache_; }
     const MemoryGeometry &geometry() const { return geo_; }
     const AddressMap &addressMap() const { return map_; }

@@ -47,6 +47,16 @@ struct WriteEntry
     /** Scratch for schemes (e.g. packed partial counters). */
     std::uint32_t schemeScratch = 0;
 
+    /**
+     * Ground-truth LRS counts of the target page/line, scanned once by
+     * the controller immediately before decideWrite (the store cannot
+     * change between then and dispatch accounting). Shared by the
+     * scheme decision, the content-true power model, and the trace
+     * record, which previously each re-scanned the store.
+     */
+    unsigned dispatchCw = 0;  //!< max per-mat wordline LRS count
+    unsigned dispatchCbl = 0; //!< max selected-bitline LRS count
+
     bool
     ready() const
     {

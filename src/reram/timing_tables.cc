@@ -11,9 +11,27 @@
 #include "circuit/fastmodel.hh"
 #include "common/log.hh"
 #include "common/profiler.hh"
+#include "latency_surface.hh"
 
 namespace ladder
 {
+
+namespace
+{
+
+/** Precompute the dense lookup surfaces for a finished model. */
+void
+attachSurfaces(TimingModel &model)
+{
+    model.ladderSurface = std::make_shared<const LatencySurface>(
+        LatencySurface::fromTable(model.ladder));
+    model.blpSurface = std::make_shared<const LatencySurface>(
+        LatencySurface::fromTable(model.blp));
+    model.locationSurface = std::make_shared<const LatencySurface>(
+        LatencySurface::fromTable(model.location));
+}
+
+} // namespace
 
 std::size_t
 WriteTimingTable::index(unsigned wl, unsigned bl, unsigned c) const
@@ -281,6 +299,7 @@ TimingModel::generate(const CrossbarParams &params, unsigned granularity,
                                 ContentDim::Wordline, granularity,
                                 granularity, 1);
     model.power = PowerTable::build(params, eval);
+    attachSurfaces(model);
     return model;
 }
 
@@ -310,6 +329,7 @@ TimingModel::generateDerived(const CrossbarParams &params,
                                 ContentDim::Wordline, granularity,
                                 granularity, 1);
     model.power = PowerTable::build(params, eval);
+    attachSurfaces(model);
     return model;
 }
 

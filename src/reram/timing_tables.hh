@@ -19,6 +19,7 @@
 #define LADDER_RERAM_TIMING_TABLES_HH
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -88,6 +89,10 @@ class WriteTimingTable
     unsigned blBuckets() const { return blBuckets_; }
     unsigned contentBuckets() const { return contentBuckets_; }
     ContentDim contentDim() const { return dim_; }
+    unsigned rows() const { return rows_; }
+    unsigned cols() const { return cols_; }
+    /** Largest raw content count (cols for WL tables, rows for BL). */
+    unsigned contentMax() const { return contentMax_; }
 
     /** Direct bucket access (for dumping the Fig. 11 surfaces). */
     const TimingEntry &at(unsigned wlBucket, unsigned blBucket,
@@ -145,6 +150,8 @@ class PowerTable
  * shot from the fast sneak-path model: calibrated law, the LADDER and
  * BLP tables, and a location-only table.
  */
+class LatencySurface;
+
 struct TimingModel
 {
     CrossbarParams params;
@@ -155,6 +162,16 @@ struct TimingModel
     PowerTable power;          //!< content-true power (energy model)
     double bestDropVolts = 0.0;
     double worstDropVolts = 0.0;
+
+    /**
+     * Dense O(1) surfaces precomputed from the three tables (see
+     * latency_surface.hh) — bit-identical to table lookups by
+     * construction. Shared pointers keep TimingModel copyable without
+     * duplicating the dense state; always non-null after generate().
+     */
+    std::shared_ptr<const LatencySurface> ladderSurface;
+    std::shared_ptr<const LatencySurface> blpSurface;
+    std::shared_ptr<const LatencySurface> locationSurface;
 
     /**
      * Build everything from the fast model.

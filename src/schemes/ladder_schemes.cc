@@ -34,10 +34,11 @@ LadderBasicScheme::decideWrite(MemoryController &ctrl, WriteEntry &entry,
 {
     (void)finalData;
     // The maintained counters exactly track the array contents, so the
-    // pre-write C_w equals the backing store's ground truth.
-    unsigned cw = ctrl.store().maxMatLrsCount(entry.loc.pageIndex);
+    // pre-write C_w equals the backing store's ground truth (scanned
+    // once per dispatch by the controller).
+    unsigned cw = entry.dispatchCw;
     accurateCw.sample(cw);
-    const TimingEntry &t = ctrl.timing().ladder.lookup(
+    const TimingEntry &t = ctrl.ladderTiming(
         entry.loc.wordline, entry.loc.worstBitline(), cw);
     return {t.latencyNs, t.powerMw};
 }
@@ -149,11 +150,11 @@ LadderEstScheme::decideWrite(MemoryController &ctrl, WriteEntry &entry,
     auto &packed = pageShadow(ctrl, entry.loc.pageIndex);
     unsigned cwEst = estimateCw2(packed);
     estimatedCw.sample(cwEst);
-    unsigned cwTrue = ctrl.store().maxMatLrsCount(entry.loc.pageIndex);
+    unsigned cwTrue = entry.dispatchCw;
     counterDiff.sample(static_cast<double>(cwEst) -
                        static_cast<double>(cwTrue));
 
-    const TimingEntry &t = ctrl.timing().ladder.lookup(
+    const TimingEntry &t = ctrl.ladderTiming(
         entry.loc.wordline, entry.loc.worstBitline(), cwEst);
 
     // Update the partial counters for the written variant and dirty
@@ -241,7 +242,7 @@ LadderHybridScheme::decideWrite(MemoryController &ctrl,
     auto &packed = lowPageShadow(ctrl, entry.loc.pageIndex);
     unsigned cwEst = estimateCw1(packed);
     estimatedCw.sample(cwEst);
-    const TimingEntry &t = ctrl.timing().ladder.lookup(
+    const TimingEntry &t = ctrl.ladderTiming(
         entry.loc.wordline, entry.loc.worstBitline(), cwEst);
 
     packed[entry.loc.blockInPage] = packPartialCounters1(finalData);

@@ -21,8 +21,8 @@ LocationScheme::decideWrite(MemoryController &ctrl, WriteEntry &entry,
                             const LineData &finalData)
 {
     (void)finalData;
-    const TimingEntry &t = ctrl.timing().location.lookup(
-        entry.loc.wordline, entry.loc.worstBitline(), 0);
+    const TimingEntry &t = ctrl.locationTiming(
+        entry.loc.wordline, entry.loc.worstBitline());
     return {t.latencyNs, t.powerMw};
 }
 
@@ -31,9 +31,9 @@ OracleScheme::decideWrite(MemoryController &ctrl, WriteEntry &entry,
                           const LineData &finalData)
 {
     (void)finalData;
-    unsigned cw = ctrl.store().maxMatLrsCount(entry.loc.pageIndex);
-    const TimingEntry &t = ctrl.timing().ladder.lookup(
-        entry.loc.wordline, entry.loc.worstBitline(), cw);
+    const TimingEntry &t = ctrl.ladderTiming(
+        entry.loc.wordline, entry.loc.worstBitline(),
+        entry.dispatchCw);
     return {t.latencyNs, t.powerMw};
 }
 
@@ -42,9 +42,9 @@ BlpScheme::decideWrite(MemoryController &ctrl, WriteEntry &entry,
                        const LineData &finalData)
 {
     (void)finalData;
-    unsigned cbl = ctrl.store().maxSelectedBitlineLrs(entry.addr);
-    const TimingEntry &t = ctrl.timing().blp.lookup(
-        entry.loc.wordline, entry.loc.worstBitline(), cbl);
+    const TimingEntry &t = ctrl.blpTiming(
+        entry.loc.wordline, entry.loc.worstBitline(),
+        entry.dispatchCbl);
     return {t.latencyNs, t.powerMw};
 }
 

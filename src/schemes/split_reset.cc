@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "reram/latency_surface.hh"
 #include "schemes/fpc.hh"
 
 namespace ladder
@@ -53,7 +54,6 @@ WriteDecision
 SplitResetScheme::decideWrite(MemoryController &ctrl, WriteEntry &entry,
                               const LineData &finalData)
 {
-    (void)ctrl;
     (void)finalData;
     // Compression is decided on the logical data the processor sent.
     bool compressible = fpcCompressible(entry.data);
@@ -62,8 +62,14 @@ SplitResetScheme::decideWrite(MemoryController &ctrl, WriteEntry &entry,
     else
         ++incompressibleWrites;
 
-    const TimingEntry &phase = halfModel_.location.lookup(
-        entry.loc.wordline, entry.loc.worstBitline(), 0);
+    // The half-RESET model carries its own dense surface; honour the
+    // controller's surface switch so differential runs stay exact.
+    const TimingEntry &phase =
+        ctrl.surfaceEnabled() && halfModel_.locationSurface
+            ? halfModel_.locationSurface->lookup(
+                  entry.loc.wordline, entry.loc.worstBitline(), 0)
+            : halfModel_.location.lookup(
+                  entry.loc.wordline, entry.loc.worstBitline(), 0);
     unsigned phases = compressible ? 1 : 2;
     // Each half-RESET phase drives half the selected cells.
     return {phase.latencyNs * phases, phase.powerMw, 0.6};

@@ -210,6 +210,29 @@ registerExperimentParams(Registry &reg)
                 "observed write content");
 
     // ---------------------------------------------------------------
+    // Latency-surface hot path (host-performance switches; all
+    // manifest-excluded: results are bit-identical either way, so
+    // resolved-config manifests and goldens must not change)
+    // ---------------------------------------------------------------
+    reg.addBool("latency.surface",
+                LADDER_FIELD(system.controller.latencySurface),
+                "Resolve per-write timings through the dense "
+                "precomputed latency surfaces (O(1) lookups; "
+                "bit-identical to the bucketed tables)")
+        .inManifest = false;
+    reg.addBool("latency.surface-check",
+                LADDER_FIELD(system.latencySurfaceCheck),
+                "Verify every surface cell against its table and the "
+                "circuit model at init; fatal on violation")
+        .inManifest = false;
+    reg.addDouble("latency.error-budget",
+                  LADDER_FIELD(system.latencyErrorBudget),
+                  "Relative latency error the surface check tolerates "
+                  "against the circuit model",
+                  0.0, 1.0)
+        .inManifest = false;
+
+    // ---------------------------------------------------------------
     // Memory geometry (SystemConfig template)
     // ---------------------------------------------------------------
     reg.addInt<unsigned>("geom.channels",

@@ -146,17 +146,141 @@ formatValue(double v)
     return os.str();
 }
 
+/** Output encodings of the merge table / diff report. */
+enum class OutputFormat
+{
+    Table,
+    Csv,
+    Json,
+};
+
+/** CSV field, quoted only when it contains a delimiter or quote. */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+/** Minimal JSON string escape (names/labels are plain paths). */
+std::string
+jsonString(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
 void
-printTable(std::ostream &out,
-           const std::vector<StatSource> &sources,
-           const std::string &glob)
+printMergeCsv(std::ostream &out,
+              const std::vector<StatSource> &sources,
+              const std::set<std::string> &names)
+{
+    out << "stat";
+    for (const StatSource &src : sources)
+        out << "," << csvField(src.label);
+    out << "\n";
+    for (const std::string &name : names) {
+        out << csvField(name);
+        for (const StatSource &src : sources) {
+            auto it = src.values.find(name);
+            out << ",";
+            if (it != src.values.end())
+                out << formatValue(it->second);
+        }
+        out << "\n";
+    }
+}
+
+void
+printMergeJson(std::ostream &out,
+               const std::vector<StatSource> &sources,
+               const std::set<std::string> &names)
+{
+    out << "{\n  \"runs\": [";
+    for (std::size_t i = 0; i < sources.size(); ++i)
+        out << (i ? ", " : "") << jsonString(sources[i].label);
+    out << "],\n  \"stats\": {";
+    bool firstName = true;
+    for (const std::string &name : names) {
+        out << (firstName ? "\n" : ",\n") << "    "
+            << jsonString(name) << ": [";
+        firstName = false;
+        for (std::size_t i = 0; i < sources.size(); ++i) {
+            auto it = sources[i].values.find(name);
+            out << (i ? ", " : "")
+                << (it != sources[i].values.end()
+                        ? formatValue(it->second)
+                        : std::string("null"));
+        }
+        out << "]";
+    }
+    out << "\n  }\n}\n";
+}
+
+void
+printDiffCsv(std::ostream &out, const std::vector<StatDiff> &diffs)
+{
+    out << "stat,base,other,rel_delta,flagged\n";
+    for (const StatDiff &d : diffs)
+        out << csvField(d.name) << "," << formatValue(d.base) << ","
+            << formatValue(d.other) << "," << formatValue(d.relDelta)
+            << "," << (d.flagged ? 1 : 0) << "\n";
+}
+
+void
+printDiffJson(std::ostream &out, const StatSource &base,
+              const StatSource &other,
+              const std::vector<StatDiff> &diffs, double threshold,
+              std::size_t flagged)
+{
+    out << "{\n  \"base\": " << jsonString(base.label)
+        << ",\n  \"other\": " << jsonString(other.label)
+        << ",\n  \"threshold\": " << formatValue(threshold)
+        << ",\n  \"flagged\": " << flagged << ",\n  \"diffs\": [";
+    for (std::size_t i = 0; i < diffs.size(); ++i) {
+        const StatDiff &d = diffs[i];
+        out << (i ? ",\n" : "\n") << "    {\"stat\": "
+            << jsonString(d.name) << ", \"base\": "
+            << formatValue(d.base) << ", \"other\": "
+            << formatValue(d.other) << ", \"rel_delta\": "
+            << formatValue(d.relDelta) << ", \"flagged\": "
+            << (d.flagged ? "true" : "false") << "}";
+    }
+    out << "\n  ]\n}\n";
+}
+
+/** Union of glob-selected stat names across all sources. */
+std::set<std::string>
+selectNames(const std::vector<StatSource> &sources,
+            const std::string &glob)
 {
     std::set<std::string> names;
     for (const StatSource &src : sources)
         for (const auto &[name, value] : src.values)
             if (statGlobMatch(glob, name))
                 names.insert(name);
+    return names;
+}
 
+void
+printTable(std::ostream &out,
+           const std::vector<StatSource> &sources,
+           const std::set<std::string> &names)
+{
     std::size_t nameWidth = 4;
     for (const std::string &name : names)
         nameWidth = std::max(nameWidth, name.size());
@@ -191,15 +315,16 @@ printTable(std::ostream &out,
 int
 usage(std::ostream &err)
 {
-    err << "usage: ladder_query [GLOB] PATH...\n"
+    err << "usage: ladder_query [GLOB] PATH... [format=FMT]\n"
            "       ladder_query diff [GLOB] BASE OTHER "
-           "[threshold=REL]\n"
+           "[threshold=REL] [format=FMT]\n"
            "PATH: a sweep.json/stats.json file or a directory "
            "holding one.\n"
            "GLOB: stat-name filter with * and ? (quote it). diff "
            "exits 1\n"
            "when any selected stat moves by more than REL (default "
-           "0.02)\nrelative to BASE.\n";
+           "0.02)\nrelative to BASE.\n"
+           "FMT: table (default), csv, or json.\n";
     return 2;
 }
 
@@ -301,10 +426,24 @@ ladderQueryMain(const std::vector<std::string> &args,
     std::vector<std::string> positional;
     double threshold = 0.02;
     bool diffMode = false;
+    OutputFormat format = OutputFormat::Table;
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
         if (i == 0 && arg == "diff") {
             diffMode = true;
+        } else if (arg.rfind("format=", 0) == 0) {
+            const std::string text = arg.substr(7);
+            if (text == "table") {
+                format = OutputFormat::Table;
+            } else if (text == "csv") {
+                format = OutputFormat::Csv;
+            } else if (text == "json") {
+                format = OutputFormat::Json;
+            } else {
+                err << "ladder_query: bad format '" << text
+                    << "' (table, csv, or json)\n";
+                return 2;
+            }
         } else if (arg.rfind("threshold=", 0) == 0) {
             char *end = nullptr;
             const std::string text = arg.substr(10);
@@ -349,13 +488,37 @@ ladderQueryMain(const std::vector<std::string> &args,
     }
 
     if (!diffMode) {
-        printTable(out, sources, glob);
+        std::set<std::string> names = selectNames(sources, glob);
+        switch (format) {
+        case OutputFormat::Table:
+            printTable(out, sources, names);
+            break;
+        case OutputFormat::Csv:
+            printMergeCsv(out, sources, names);
+            break;
+        case OutputFormat::Json:
+            printMergeJson(out, sources, names);
+            break;
+        }
         return 0;
     }
 
     std::vector<StatDiff> diffs =
         diffStatSources(sources[0], sources[1], glob, threshold);
     std::size_t flagged = 0;
+    for (const StatDiff &d : diffs)
+        if (d.flagged)
+            ++flagged;
+    if (format == OutputFormat::Csv) {
+        printDiffCsv(out, diffs);
+        return flagged == 0 ? 0 : 1;
+    }
+    if (format == OutputFormat::Json) {
+        printDiffJson(out, sources[0], sources[1], diffs, threshold,
+                      flagged);
+        return flagged == 0 ? 0 : 1;
+    }
+    flagged = 0;
     std::size_t nameWidth = 4;
     for (const StatDiff &d : diffs)
         nameWidth = std::max(nameWidth, d.name.size());

@@ -94,6 +94,11 @@ std::vector<StatDiff> diffStatSources(const StatSource &base,
  *   ladder_query diff [GLOB] A B
  *                [threshold=REL]           flag |rel delta|>REL (0.02)
  *
+ * Both modes accept format=table|csv|json (default table): csv emits
+ * one row per stat, json a machine-readable document ({runs, stats}
+ * for merge; {base, other, threshold, flagged, diffs} for diff). The
+ * exit contract is format-independent.
+ *
  * GLOB is any leading positional that does not name an existing
  * file or directory.
  */

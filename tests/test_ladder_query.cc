@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -147,5 +148,99 @@ TEST(QueryCli, UsageAndLoadErrorsExitTwo)
     EXPECT_EQ(runQuery({runA + "/missing-dir"}, nullptr, &err), 2);
     EXPECT_EQ(runQuery({"diff", runA, runB, "threshold=bogus"},
                        nullptr, &err),
+              2);
+}
+
+TEST(QueryCli, MergeCsvFormat)
+{
+    std::string out;
+    ASSERT_EQ(runQuery({runA, runB, "format=csv"}, &out), 0);
+    // Header row: stat column plus one label column per run.
+    EXPECT_EQ(out.rfind("stat,", 0), 0u);
+    EXPECT_NE(out.find("runA"), std::string::npos);
+    EXPECT_NE(out.find("runB"), std::string::npos);
+    // One data row per stat, comma-separated, no table decoration.
+    EXPECT_NE(out.find("LADDER-Hybrid__astar.ipc,1.1,0.99"),
+              std::string::npos);
+    EXPECT_EQ(out.find("stats x"), std::string::npos);
+    // 1 header + 10 stat rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 11);
+}
+
+TEST(QueryCli, MergeJsonFormat)
+{
+    std::string out;
+    ASSERT_EQ(runQuery({runA, runB, "format=json"}, &out), 0);
+    JsonValue doc = parseJson(out);
+    ASSERT_TRUE(doc.isObject());
+    ASSERT_EQ(doc.at("runs").array.size(), 2u);
+    EXPECT_EQ(doc.at("runs").array[0].string, runA);
+    const JsonValue &stats = doc.at("stats");
+    ASSERT_TRUE(stats.isObject());
+    EXPECT_EQ(stats.object.size(), 10u);
+    const JsonValue &ipc = stats.at("LADDER-Hybrid__astar.ipc");
+    ASSERT_EQ(ipc.array.size(), 2u);
+    EXPECT_DOUBLE_EQ(ipc.array[0].number, 1.1);
+    EXPECT_DOUBLE_EQ(ipc.array[1].number, 0.99);
+}
+
+TEST(QueryCli, DiffCsvKeepsExitContract)
+{
+    std::string out;
+    EXPECT_EQ(runQuery({"diff", runA, runB, "threshold=0.02",
+                        "format=csv"},
+                       &out),
+              1);
+    EXPECT_EQ(out.rfind("stat,base,other,rel_delta,flagged", 0), 0u);
+    EXPECT_NE(out.find("LADDER-Hybrid__astar.ipc,1.1,0.99,-0.1,1"),
+              std::string::npos);
+    // A tolerant threshold exits 0 with the same format.
+    out.clear();
+    EXPECT_EQ(runQuery({"diff", runA, runB, "threshold=0.2",
+                        "format=csv"},
+                       &out),
+              0);
+    EXPECT_NE(out.find(",0\n"), std::string::npos);
+}
+
+TEST(QueryCli, DiffJsonKeepsExitContract)
+{
+    std::string out;
+    EXPECT_EQ(runQuery({"diff", runA, runB, "threshold=0.02",
+                        "format=json"},
+                       &out),
+              1);
+    JsonValue doc = parseJson(out);
+    EXPECT_EQ(doc.at("base").string, runA);
+    EXPECT_EQ(doc.at("other").string, runB);
+    EXPECT_DOUBLE_EQ(doc.at("threshold").number, 0.02);
+    EXPECT_DOUBLE_EQ(doc.at("flagged").number, 2.0);
+    ASSERT_EQ(doc.at("diffs").array.size(), 10u);
+    int flagged = 0;
+    for (const JsonValue &d : doc.at("diffs").array) {
+        ASSERT_TRUE(d.isObject());
+        if (d.at("flagged").boolean)
+            ++flagged;
+        if (d.at("stat").string == "LADDER-Hybrid__astar.ipc")
+            EXPECT_NEAR(d.at("rel_delta").number, -0.1, 1e-9);
+    }
+    EXPECT_EQ(flagged, 2);
+    // Identical runs in json format exit 0 and report zero flagged.
+    out.clear();
+    EXPECT_EQ(runQuery({"diff", runA, runA, "threshold=0.0",
+                        "format=json"},
+                       &out),
+              0);
+    EXPECT_DOUBLE_EQ(parseJson(out).at("flagged").number, 0.0);
+}
+
+TEST(QueryCli, BadFormatExitsTwo)
+{
+    std::string err;
+    EXPECT_EQ(runQuery({runA, runB, "format=bogus"}, nullptr, &err),
+              2);
+    EXPECT_NE(err.find("bad format"), std::string::npos);
+    EXPECT_EQ(runQuery({"diff", runA, runB, "format=xml"}, nullptr,
+                       &err),
               2);
 }

@@ -55,6 +55,10 @@ struct SchemeRig
             if (!ctrl->metadataCache().contains(metaAddr))
                 ctrl->metadataCache().insert(metaAddr, 1, victim);
         }
+        // The controller scans the store once per dispatch and hands
+        // the counts to the scheme; mirror that contract here.
+        entry.dispatchCw = store.maxMatLrsCount(entry.loc.pageIndex);
+        entry.dispatchCbl = store.maxSelectedBitlineLrs(addr);
         return scheme->decideWrite(*ctrl, entry, entry.physData);
     }
 };

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "circuit/fastmodel.hh"
+#include "reram/latency_surface.hh"
 #include "reram/timing_tables.hh"
 
 namespace ladder
@@ -171,6 +172,51 @@ TEST(TimingTable, CachedModelIsStable)
     EXPECT_EQ(&a, &b);
     const TimingModel &c = cachedTimingModel(p, 4);
     EXPECT_NE(&a, &c);
+}
+
+TEST(TimingTable, SurfacesAttachedByGenerate)
+{
+    // Every generated model carries the three dense O(1) surfaces, and
+    // each mirrors its table exactly (see test_latency_surface for the
+    // full contract).
+    const TimingModel &m = model();
+    ASSERT_NE(m.ladderSurface, nullptr);
+    ASSERT_NE(m.blpSurface, nullptr);
+    ASSERT_NE(m.locationSurface, nullptr);
+    EXPECT_TRUE(m.ladderSurface->verifyAgainst(m.ladder).ok());
+    EXPECT_TRUE(m.blpSurface->verifyAgainst(m.blp).ok());
+    EXPECT_TRUE(m.locationSurface->verifyAgainst(m.location).ok());
+    EXPECT_EQ(m.locationSurface->contentDense(), 1u);
+}
+
+TEST(TimingTable, SurfacesAttachedByGenerateDerived)
+{
+    CrossbarParams half;
+    half.selectedCells = 4;
+    TimingModel derived =
+        TimingModel::generateDerived(half, model().law, 8);
+    ASSERT_NE(derived.locationSurface, nullptr);
+    EXPECT_TRUE(
+        derived.locationSurface->verifyAgainst(derived.location).ok());
+}
+
+TEST(TimingTable, SurfaceLookupEqualsTableLookup)
+{
+    const TimingModel &m = model();
+    for (unsigned wl : {0u, 63u, 64u, 255u, 511u}) {
+        for (unsigned bl : {0u, 63u, 64u, 255u, 511u}) {
+            for (unsigned c : {0u, 1u, 64u, 65u, 256u, 512u, 9999u}) {
+                EXPECT_EQ(m.ladderSurface->lookup(wl, bl, c).latencyNs,
+                          m.ladder.lookup(wl, bl, c).latencyNs)
+                    << "wl " << wl << " bl " << bl << " c " << c;
+                EXPECT_EQ(m.blpSurface->lookup(wl, bl, c).latencyNs,
+                          m.blp.lookup(wl, bl, c).latencyNs);
+                EXPECT_EQ(
+                    m.locationSurface->lookup(wl, bl, c).latencyNs,
+                    m.location.lookup(wl, bl, c).latencyNs);
+            }
+        }
+    }
 }
 
 TEST(PowerTable, PositiveAndContentSensitive)
