@@ -35,6 +35,7 @@
 #include "sim/experiment.hh"
 #include "sim/profile_export.hh"
 #include "sim/stats_export.hh"
+#include "sim/telemetry.hh"
 
 using namespace ladder;
 
@@ -101,6 +102,7 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(cfg.measureInstr));
 
     beginProfiling(cfg);
+    TelemetryScope telemetry(cfg, 1);
     System system(makeSystemConfig(kind, workload, cfg));
     std::unique_ptr<WriteTraceSink> trace =
         makeTraceSink(kind, workload, cfg);
@@ -109,7 +111,9 @@ main(int argc, char **argv)
     SimResult r = system.run(cfg.warmupInstr, cfg.measureInstr);
     if (trace)
         trace->finish();
+    telemetry.noteCellDone();
     exportRun(cfg, kind, workload, system, r, trace.get());
+    telemetry.stopPublisher();
     exportProfile(cfg, {{kind, workload}});
 
     std::printf("\n--- headline metrics ---\n");

@@ -1,0 +1,240 @@
+#include "metrics.hh"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/log.hh"
+
+namespace ladder::metrics
+{
+
+namespace detail
+{
+std::atomic<bool> g_enabled{false};
+} // namespace detail
+
+namespace
+{
+
+/**
+ * One metric's slot on one thread: a full cache line so two threads
+ * bumping adjacent metrics never false-share. The owning thread is
+ * the only writer (plain relaxed load+store — single-writer counters
+ * need no RMW); snapshot() reads concurrently with relaxed loads.
+ */
+struct alignas(64) Slot
+{
+    std::atomic<std::uint64_t> value{0};
+};
+static_assert(sizeof(Slot) == 64, "one cache line per slot");
+
+constexpr std::size_t slotsPerBlock = 64;
+constexpr std::size_t maxBlocks = 256; // 16k metrics is plenty
+
+/**
+ * One thread's slots, grown block-at-a-time so registering a metric
+ * after a thread started never moves slots other threads may be
+ * reading. Blocks are published with release stores by the owning
+ * thread and read with acquire loads by snapshot(); jointly owned by
+ * the thread (thread_local handle) and the registry (shared_ptr), so
+ * counts survive thread exit — sweep pools die before the final
+ * snapshot.
+ */
+struct Slab
+{
+    std::atomic<Slot *> blocks[maxBlocks] = {};
+
+    ~Slab()
+    {
+        for (auto &block : blocks)
+            delete[] block.load(std::memory_order_relaxed);
+    }
+
+    Slot &
+    slot(MetricId id)
+    {
+        std::size_t index = id / slotsPerBlock;
+        ladder_assert(index < maxBlocks, "metric id %u out of range",
+                      id);
+        Slot *block = blocks[index].load(std::memory_order_acquire);
+        if (!block) {
+            block = new Slot[slotsPerBlock];
+            blocks[index].store(block, std::memory_order_release);
+        }
+        return block[id % slotsPerBlock];
+    }
+
+    /** Relaxed read of one slot; 0 when the block was never touched. */
+    std::uint64_t
+    read(MetricId id) const
+    {
+        std::size_t index = id / slotsPerBlock;
+        const Slot *block =
+            index < maxBlocks
+                ? blocks[index].load(std::memory_order_acquire)
+                : nullptr;
+        if (!block)
+            return 0;
+        return block[id % slotsPerBlock].value.load(
+            std::memory_order_relaxed);
+    }
+};
+
+struct Meta
+{
+    std::string name;
+    Kind kind = Kind::Counter;
+};
+
+struct Registry
+{
+    std::mutex mutex;
+    std::map<std::string, MetricId> byName;
+    std::vector<Meta> metas;
+    std::vector<std::shared_ptr<Slab>> slabs;
+};
+
+Registry &
+registry()
+{
+    static Registry *r = new Registry; // leaked: usable at any exit
+    return *r;
+}
+
+Slab &
+currentSlab()
+{
+    thread_local std::shared_ptr<Slab> slab = []() {
+        auto s = std::make_shared<Slab>();
+        Registry &reg = registry();
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        reg.slabs.push_back(s);
+        return s;
+    }();
+    return *slab;
+}
+
+MetricId
+registerMetric(const std::string &name, Kind kind)
+{
+    ladder_assert(!name.empty(), "metrics: empty name");
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto it = reg.byName.find(name);
+    if (it != reg.byName.end()) {
+        ladder_assert(reg.metas[it->second].kind == kind,
+                      "metric '%s' re-registered with a different "
+                      "kind",
+                      name.c_str());
+        return it->second;
+    }
+    MetricId id = static_cast<MetricId>(reg.metas.size());
+    ladder_assert(id < slotsPerBlock * maxBlocks,
+                  "metrics: registry full");
+    reg.metas.push_back({name, kind});
+    reg.byName.emplace(name, id);
+    return id;
+}
+
+} // namespace
+
+namespace detail
+{
+
+void
+addSlow(std::uint32_t id, std::uint64_t delta)
+{
+    // Single writer per slot: a relaxed load+store is a full RMW's
+    // worth of correctness at plain-store cost.
+    std::atomic<std::uint64_t> &v = currentSlab().slot(id).value;
+    v.store(v.load(std::memory_order_relaxed) + delta,
+            std::memory_order_relaxed);
+}
+
+void
+setSlow(std::uint32_t id, std::uint64_t value)
+{
+    currentSlab().slot(id).value.store(value,
+                                       std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+MetricId
+registerCounter(const std::string &name)
+{
+    return registerMetric(name, Kind::Counter);
+}
+
+MetricId
+registerGauge(const std::string &name)
+{
+    return registerMetric(name, Kind::Gauge);
+}
+
+std::vector<Sample>
+snapshot()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::vector<Sample> out;
+    out.reserve(reg.byName.size());
+    for (const auto &entry : reg.byName) { // name order
+        Sample s;
+        s.name = entry.first;
+        s.kind = reg.metas[entry.second].kind;
+        for (const auto &slab : reg.slabs)
+            s.value += slab->read(entry.second);
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+std::uint64_t
+value(MetricId id)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::uint64_t sum = 0;
+    for (const auto &slab : reg.slabs)
+        sum += slab->read(id);
+    return sum;
+}
+
+void
+enable()
+{
+    Registry &reg = registry();
+    {
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        for (const auto &slab : reg.slabs) {
+            for (const auto &block : slab->blocks) {
+                Slot *slots = block.load(std::memory_order_acquire);
+                if (!slots)
+                    continue;
+                for (std::size_t i = 0; i < slotsPerBlock; ++i)
+                    slots[i].value.store(0,
+                                         std::memory_order_relaxed);
+            }
+        }
+    }
+    detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void
+disable()
+{
+    detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+void
+reset()
+{
+    disable();
+    enable();
+    disable();
+}
+
+} // namespace ladder::metrics

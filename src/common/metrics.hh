@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Live run metrics: lock-free per-thread counters and gauges sampled
+ * *while the simulation runs* (the telemetry heartbeat, watchdog, and
+ * progress summaries in sim/telemetry all read from here). This is
+ * the always-on complement to common/profiler: where the profiler
+ * records a timeline for post-run export, the metrics registry keeps
+ * a handful of monotonic counters and last-value gauges that a
+ * concurrent publisher thread can aggregate at any moment without
+ * stopping the writers.
+ *
+ * Discipline (same bar as the profiler's disabled fast path):
+ *  - Disabled (the default), every instrumented site costs exactly
+ *    one relaxed atomic load and a predictable branch — no clock, no
+ *    lock, no allocation — so sites can live on the controller's
+ *    per-write dispatch path without perturbing production runs.
+ *  - Enabled, each site touches only the calling thread's own
+ *    cache-line-aligned slot (single-writer relaxed load/store, not
+ *    even a fetch_add), so recording never contends across threads.
+ *  - snapshot() sums the per-thread slots with relaxed loads. Each
+ *    slot is a 64-bit atomic, so individual reads are torn-free; the
+ *    aggregate is a momentary view, exact once writers quiesce.
+ *
+ * Counters accumulate (aggregate = sum over threads). Gauges hold the
+ * last value each thread set (aggregate = sum of per-thread last
+ * values — exact for single-writer gauges like a per-channel queue
+ * depth, a documented over-count when concurrent sweep cells set the
+ * same gauge).
+ *
+ * Registration (registerCounter/registerGauge) takes a lock and may
+ * allocate: register once — in a constructor or a function-local
+ * static — never per event. Ids are process-global and stable;
+ * re-registering the same name returns the same id.
+ */
+
+#ifndef LADDER_COMMON_METRICS_HH
+#define LADDER_COMMON_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ladder::metrics
+{
+
+namespace detail
+{
+/** The one global the disabled fast path touches. */
+extern std::atomic<bool> g_enabled;
+
+void addSlow(std::uint32_t id, std::uint64_t delta);
+void setSlow(std::uint32_t id, std::uint64_t value);
+} // namespace detail
+
+/** Whether recording is on: one relaxed load, the disabled cost. */
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/** Stable process-global handle for one named metric. */
+using MetricId = std::uint32_t;
+
+enum class Kind : std::uint8_t
+{
+    Counter, //!< monotonic accumulator (aggregate = sum)
+    Gauge,   //!< last value per thread (aggregate = sum of lasts)
+};
+
+/**
+ * Register (or look up) a counter. Takes a lock; call once per site.
+ * Registering an existing name with a different kind panics.
+ */
+MetricId registerCounter(const std::string &name);
+
+/** Register (or look up) a gauge. Same contract as registerCounter. */
+MetricId registerGauge(const std::string &name);
+
+/** Add @p delta to the calling thread's slot for counter @p id. */
+inline void
+add(MetricId id, std::uint64_t delta = 1)
+{
+    if (!enabled())
+        return;
+    detail::addSlow(id, delta);
+}
+
+/** Set the calling thread's slot for gauge @p id to @p value. */
+inline void
+set(MetricId id, std::uint64_t value)
+{
+    if (!enabled())
+        return;
+    detail::setSlow(id, value);
+}
+
+/** One aggregated metric, as returned by snapshot(). */
+struct Sample
+{
+    std::string name;
+    Kind kind = Kind::Counter;
+    std::uint64_t value = 0;
+};
+
+/**
+ * Aggregate every registered metric across all threads (including
+ * threads that have since exited), in name order. Safe to call from
+ * any thread while writers are recording: each slot read is a relaxed
+ * atomic load, so values are torn-free per metric and counters are
+ * monotonic across successive snapshots.
+ */
+std::vector<Sample> snapshot();
+
+/** Aggregate a single metric (same guarantees as snapshot()). */
+std::uint64_t value(MetricId id);
+
+/**
+ * Zero every slot and start recording. Call from the coordinating
+ * thread before the instrumented threads start (concurrent recorders
+ * could lose pre-enable updates to the zeroing, nothing worse).
+ */
+void enable();
+
+/** Stop recording (slots keep their values for late snapshots). */
+void disable();
+
+/** Disable and zero every slot (tests). */
+void reset();
+
+/** Shared metric names read by name in sim/telemetry. */
+namespace names
+{
+/** Gauge: latest event-queue tick any controller dispatched at. */
+inline constexpr const char *simTick = "sim.tick";
+/** Counter: sweep cells finished so far. */
+inline constexpr const char *cellsDone = "sweep.cells_done";
+/** Gauge: total cells in the active sweep. */
+inline constexpr const char *cellsTotal = "sweep.cells_total";
+} // namespace names
+
+} // namespace ladder::metrics
+
+#endif // LADDER_COMMON_METRICS_HH

@@ -27,9 +27,11 @@ namespace
 struct ThreadBuf
 {
     std::uint64_t id = 0;
-    std::string name;
+    std::string name; //!< written under the registry mutex
     std::vector<Span> spans;
     std::vector<CounterSample> counters;
+    /** Innermost open span, readable mid-run by activeSpans(). */
+    std::atomic<const char *> activeSpan{nullptr};
 };
 
 struct Registry
@@ -117,7 +119,11 @@ recordCounter(const char *name, double value)
 void
 setCurrentThreadName(const std::string &name)
 {
-    currentBuf()->name = name;
+    std::shared_ptr<ThreadBuf> buf = currentBuf();
+    // Under the registry mutex so activeSpans() can read names of
+    // live threads without racing the write.
+    std::lock_guard<std::mutex> lock(registry().mutex);
+    buf->name = name;
 }
 
 const char *
@@ -145,6 +151,43 @@ collect()
     }
     return out;
 }
+
+std::vector<ActiveSpan>
+activeSpans()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::vector<ActiveSpan> out;
+    for (const auto &buf : reg.threads) {
+        const char *name =
+            buf->activeSpan.load(std::memory_order_relaxed);
+        if (!name)
+            continue;
+        out.push_back({buf->id, buf->name, name});
+    }
+    return out;
+}
+
+namespace detail
+{
+
+const char *
+enterSpan(const char *name)
+{
+    std::atomic<const char *> &slot = currentBuf()->activeSpan;
+    const char *previous = slot.load(std::memory_order_relaxed);
+    slot.store(name, std::memory_order_relaxed);
+    return previous;
+}
+
+void
+exitSpan(const char *previous)
+{
+    currentBuf()->activeSpan.store(previous,
+                                   std::memory_order_relaxed);
+}
+
+} // namespace detail
 
 void
 reset()

@@ -110,6 +110,31 @@ const char *internName(const std::string &name);
  */
 std::vector<ThreadLog> collect();
 
+/** One thread's innermost open span right now (watchdog reports). */
+struct ActiveSpan
+{
+    std::uint64_t threadId = 0;
+    std::string threadName;
+    const char *name = nullptr; //!< literal or interned (stable)
+};
+
+/**
+ * The innermost span currently open on each thread that has one.
+ * Unlike collect(), this is safe to call *while* instrumented threads
+ * are recording: each thread publishes its current span name through
+ * a relaxed atomic slot, so the telemetry watchdog can report where a
+ * stalled run is stuck without stopping it.
+ */
+std::vector<ActiveSpan> activeSpans();
+
+namespace detail
+{
+/** Publish @p name as the calling thread's open span; returns the
+ *  previous one so nested Scopes restore it on exit. */
+const char *enterSpan(const char *name);
+void exitSpan(const char *previous);
+} // namespace detail
+
 /** Disable and drop all recorded data (tests). */
 void reset();
 
@@ -123,14 +148,17 @@ class Scope
   public:
     explicit Scope(const char *name)
         : name_(enabled() ? name : nullptr),
-          startNs_(name_ ? nowNs() : 0)
+          startNs_(name_ ? nowNs() : 0),
+          previous_(name_ ? detail::enterSpan(name_) : nullptr)
     {
     }
 
     ~Scope()
     {
-        if (name_)
+        if (name_) {
+            detail::exitSpan(previous_);
             recordSpan(name_, startNs_, nowNs());
+        }
     }
 
     Scope(const Scope &) = delete;
@@ -139,6 +167,7 @@ class Scope
   private:
     const char *name_;
     std::uint64_t startNs_;
+    const char *previous_;
 };
 
 } // namespace ladder::prof

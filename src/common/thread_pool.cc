@@ -1,12 +1,14 @@
 #include "thread_pool.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #if defined(__linux__)
 #include <pthread.h>
 #endif
 
+#include "common/metrics.hh"
 #include "common/profiler.hh"
 
 namespace ladder
@@ -14,6 +16,22 @@ namespace ladder
 
 namespace
 {
+
+metrics::MetricId
+poolTasksMetric()
+{
+    static const metrics::MetricId id =
+        metrics::registerCounter("pool.tasks");
+    return id;
+}
+
+metrics::MetricId
+poolIdleNsMetric()
+{
+    static const metrics::MetricId id =
+        metrics::registerCounter("pool.idle_ns");
+    return id;
+}
 
 /**
  * Name the calling worker for profiles, TSan reports, and `top -H`.
@@ -89,10 +107,26 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> job;
         {
+            // Clock reads only when telemetry is live; the disabled
+            // cost stays one relaxed load per dequeue.
+            const bool timed = metrics::enabled();
+            const auto idleStart =
+                timed ? std::chrono::steady_clock::now()
+                      : std::chrono::steady_clock::time_point{};
             std::unique_lock<std::mutex> lock(mutex_);
             workReady_.wait(lock, [this]() {
                 return stopping_ || !queue_.empty();
             });
+            if (timed) {
+                metrics::add(
+                    poolIdleNsMetric(),
+                    static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<
+                            std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() -
+                            idleStart)
+                            .count()));
+            }
             // Drain-on-stop: only exit once the queue is empty.
             if (queue_.empty())
                 return;
@@ -104,6 +138,8 @@ ThreadPool::workerLoop()
         // job() never throws out of the worker.
         {
             PROF_SCOPE("pool_task");
+            if (metrics::enabled())
+                metrics::add(poolTasksMetric());
             job();
         }
         {

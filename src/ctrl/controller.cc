@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/metrics.hh"
 #include "common/profiler.hh"
 #include "reram/latency_surface.hh"
 
@@ -40,6 +41,19 @@ MemoryController::MemoryController(EventQueue &events,
     tRcd_ = nsToTicks(cfg_.tRcdNs);
     tCl_ = nsToTicks(cfg_.tClNs);
     tBurst_ = nsToTicks(cfg_.tBurstNs);
+
+    // Live-telemetry handles. Registration is idempotent, so every
+    // run of a sweep shares the per-channel ids; the per-write uses
+    // below cost one relaxed load while telemetry is off.
+    const std::string ch = "ctrl.ch" + std::to_string(channel_) + ".";
+    mWrites_ = metrics::registerCounter(ch + "writes");
+    mReads_ = metrics::registerCounter(ch + "reads");
+    mWqDepth_ = metrics::registerGauge(ch + "wq_depth");
+    mRqDepth_ = metrics::registerGauge(ch + "rq_depth");
+    mResetTicks_ = metrics::registerCounter(ch + "reset_ticks");
+    mSchemeWrites_ = metrics::registerCounter(
+        "ctrl.scheme." + scheme_->name() + ".writes");
+    mSimTick_ = metrics::registerGauge(metrics::names::simTick);
 }
 
 void
@@ -204,6 +218,8 @@ MemoryController::enqueueRead(Addr lineAddr, ReadCallback callback)
     entry.loc = loc;
     entry.callbacks.push_back(std::move(callback));
     readQueue_.push_back(std::move(entry));
+    if (metrics::enabled())
+        metrics::set(mRqDepth_, readQueue_.size());
     requestSchedule();
 }
 
@@ -251,6 +267,8 @@ MemoryController::enqueueWrite(Addr lineAddr, const LineData &data)
     }
     handleMetadataNeeds(entry);
     writeQueue_.push_back(std::move(entry));
+    if (metrics::enabled())
+        metrics::set(mWqDepth_, writeQueue_.size());
     requestSchedule();
 }
 
@@ -497,6 +515,11 @@ MemoryController::completeRead(ReadEntry entry, Tick when)
         double latencyNs = ticksToNs(when - entry.enqueueTick);
         readLatencyNs.sample(latencyNs);
         readLatencyHistNs.sample(latencyNs);
+        if (metrics::enabled()) {
+            metrics::add(mReads_);
+            metrics::set(mRqDepth_, readQueue_.size());
+            metrics::set(mSimTick_, events_.now());
+        }
         if (traceSink_) {
             CtrlTraceRecord r;
             r.tick = when;
@@ -696,6 +719,15 @@ MemoryController::issueOneWrite()
         }
 
         Tick busy = events_.now() + tRcd_ + nsToTicks(decision.latencyNs);
+        if (metrics::enabled()) {
+            metrics::add(mWrites_);
+            metrics::add(mSchemeWrites_);
+            metrics::add(mResetTicks_,
+                         static_cast<std::uint64_t>(
+                             nsToTicks(decision.latencyNs)));
+            metrics::set(mWqDepth_, writeQueue_.size());
+            metrics::set(mSimTick_, events_.now());
+        }
         bankBusyUntil_[bank] = busy;
         lastIssueTick_ = events_.now();
         writeQueueTimeNs.sample(

@@ -270,6 +270,11 @@ class MemoryController
     std::unordered_map<std::uint64_t, std::uint32_t> pageWrites_;
     std::unordered_map<Addr, LineData> inFlightWrites_;
 
+    /** Live-telemetry handles (common/metrics), registered in the
+     *  constructor; every use is gated on metrics::enabled(). */
+    std::uint32_t mWrites_, mReads_, mWqDepth_, mRqDepth_;
+    std::uint32_t mResetTicks_, mSchemeWrites_, mSimTick_;
+
     Tick tRcd_, tCl_, tBurst_;
 
     Addr physAddr(Addr lineAddr);

@@ -14,6 +14,7 @@
 #include "common/bounded_queue.hh"
 #include "common/crc32.hh"
 #include "common/log.hh"
+#include "common/metrics.hh"
 #include "common/profiler.hh"
 #include "ctrl/trace_wire.hh"
 
@@ -22,6 +23,22 @@ namespace ladder
 
 namespace
 {
+
+metrics::MetricId
+traceChunksMetric()
+{
+    static const metrics::MetricId id =
+        metrics::registerCounter("trace.chunks_flushed");
+    return id;
+}
+
+metrics::MetricId
+traceStallsMetric()
+{
+    static const metrics::MetricId id =
+        metrics::registerCounter("trace.backpressure_stalls");
+    return id;
+}
 
 void
 appendU16(std::string &out, std::uint16_t v)
@@ -224,6 +241,8 @@ WriteTraceSink::startStream()
         while (auto chunk = raw->queue.pop()) {
             if (!raw->failed.load(std::memory_order_relaxed)) {
                 PROF_SCOPE("trace_flush");
+                if (metrics::enabled())
+                    metrics::add(traceChunksMetric());
                 std::string bytes;
                 if (format == TraceFormat::BinaryV2) {
                     ChunkIndexEntry entry;
@@ -263,7 +282,11 @@ WriteTraceSink::pushChunk(std::vector<CtrlTraceRecord> &&chunk)
     stream_->inFlight.fetch_add(chunk.size(),
                                 std::memory_order_relaxed);
     // Blocks while the queue is full: backpressure instead of
-    // unbounded buffering when the disk cannot keep up.
+    // unbounded buffering when the disk cannot keep up. The size
+    // probe is racy, which is fine for a stall tally.
+    if (metrics::enabled() &&
+        stream_->queue.size() >= stream_->queue.capacity())
+        metrics::add(traceStallsMetric());
     bool pushed = stream_->queue.push(std::move(chunk));
     ladder_assert(pushed, "trace chunk pushed after finish()");
 }

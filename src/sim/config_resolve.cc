@@ -1,6 +1,7 @@
 #include "config_resolve.hh"
 
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -195,6 +196,32 @@ registerExperimentParams(Registry &reg)
     reg.addBool("profile", LADDER_FIELD(profileSummary),
                 "Print an aggregate per-span host profile to stderr "
                 "after the run")
+        .inManifest = false;
+
+    // ---------------------------------------------------------------
+    // Live telemetry (sim/telemetry; all manifest-excluded so goldens
+    // and jobs= byte-identity are untouched by observability knobs)
+    // ---------------------------------------------------------------
+    reg.addInt<std::uint64_t>(
+           "telemetry.interval-ms", LADDER_FIELD(telemetryIntervalMs),
+           "Heartbeat.json sampling period in ms (0 = off)", 0,
+           3'600'000)
+        .inManifest = false;
+    reg.addString("telemetry.out", LADDER_FIELD(telemetryOut),
+                  "Heartbeat directory ('' = the stats-json "
+                  "directory)")
+        .inManifest = false;
+    reg.addInt<unsigned>(
+           "telemetry.watchdog-intervals",
+           LADDER_FIELD(telemetryWatchdogIntervals),
+           "Stalled-sim-tick samples before the watchdog warns with "
+           "the active profiler spans (0 = off)",
+           0, 1'000'000)
+        .inManifest = false;
+    reg.addChoice("progress", LADDER_FIELD(progress),
+                  "Final one-line run summary on stderr ('auto' only "
+                  "prints on a TTY)",
+                  {"off", "auto"})
         .inManifest = false;
 
     // ---------------------------------------------------------------
@@ -465,26 +492,87 @@ registerExperimentParams(Registry &reg)
 
 #undef LADDER_FIELD
 
-/** Apply a sweep-spec document to the resolution in progress. */
+/** Most deeply nested include= chain a sweep spec may form. */
+constexpr std::size_t maxSweepIncludeDepth = 16;
+
+/**
+ * Apply a sweep-spec document to the resolution in progress.
+ * @p stack holds the canonical paths of the files currently being
+ * applied, outermost first — the cycle detector and depth limiter for
+ * include= chains. Included files apply *before* the including
+ * file's own keys, so the includer overrides what it includes (same
+ * later-wins layering as the rest of the config spine).
+ */
 void
 applySweepSpec(const JsonValue &spec, const std::string &path,
-               ResolvedExperiment &out)
+               ResolvedExperiment &out,
+               std::vector<std::string> &stack)
 {
     if (!spec.isObject())
         fatal("sweep file '%s': top level must be a JSON object",
               path.c_str());
     static const std::vector<std::string> knownKeys = {
-        "schemes", "workloads", "params"};
+        "include", "schemes", "workloads", "params"};
     for (const auto &member : spec.object) {
         bool ok = false;
         for (const auto &key : knownKeys)
             ok |= key == member.first;
         if (!ok) {
             fatal("sweep file '%s': unknown key '%s'%s (expected "
-                  "schemes/workloads/params)",
+                  "include/schemes/workloads/params)",
                   path.c_str(), member.first.c_str(),
                   param_detail::suggestNearest(member.first, knownKeys)
                       .c_str());
+        }
+    }
+    if (spec.has("include")) {
+        const JsonValue &inc = spec.at("include");
+        std::vector<std::string> files;
+        if (inc.type == JsonValue::Type::String) {
+            files.push_back(inc.string);
+        } else if (inc.isArray()) {
+            for (const JsonValue &item : inc.array) {
+                if (item.type != JsonValue::Type::String)
+                    fatal("sweep file '%s': 'include' must be a path "
+                          "or an array of paths",
+                          path.c_str());
+                files.push_back(item.string);
+            }
+        } else {
+            fatal("sweep file '%s': 'include' must be a path or an "
+                  "array of paths",
+                  path.c_str());
+        }
+        for (const std::string &file : files) {
+            // Relative to the including file, not the process cwd,
+            // so sweep libraries compose from any invocation dir.
+            std::filesystem::path resolved(file);
+            if (resolved.is_relative())
+                resolved =
+                    std::filesystem::path(path).parent_path() / file;
+            std::error_code ec;
+            std::filesystem::path canonical =
+                std::filesystem::weakly_canonical(resolved, ec);
+            const std::string key =
+                ec ? resolved.string() : canonical.string();
+            for (const std::string &open : stack) {
+                if (open == key) {
+                    std::string chain;
+                    for (const std::string &p : stack)
+                        chain += p + " -> ";
+                    chain += key;
+                    fatal("sweep file '%s': include cycle: %s",
+                          path.c_str(), chain.c_str());
+                }
+            }
+            if (stack.size() >= maxSweepIncludeDepth)
+                fatal("sweep file '%s': include chain deeper than "
+                      "%zu files",
+                      path.c_str(), maxSweepIncludeDepth);
+            JsonValue doc = loadJsonFile(resolved.string(), "sweep");
+            stack.push_back(key);
+            applySweepSpec(doc, resolved.string(), out, stack);
+            stack.pop_back();
         }
     }
     auto stringList = [&](const char *key) {
@@ -604,7 +692,12 @@ resolveExperiment(int argc, const char *const *argv,
     }
     if (!out.sweepFile.empty()) {
         JsonValue doc = loadJsonFile(out.sweepFile, "sweep");
-        applySweepSpec(doc, out.sweepFile, out);
+        std::error_code ec;
+        std::filesystem::path canonical =
+            std::filesystem::weakly_canonical(out.sweepFile, ec);
+        std::vector<std::string> stack{
+            ec ? out.sweepFile : canonical.string()};
+        applySweepSpec(doc, out.sweepFile, out, stack);
     }
     for (const Assignment &a : cli)
         reg.set(out.config, a.key, a.value, "command line");

@@ -16,6 +16,7 @@
 #include "common/thread_pool.hh"
 #include "sim/profile_export.hh"
 #include "sim/stats_export.hh"
+#include "sim/telemetry.hh"
 #include "trace/workloads.hh"
 
 namespace ladder
@@ -158,6 +159,10 @@ runMatrixParallel(const std::vector<SchemeKind> &schemes,
     if (jobs == 0)
         jobs = 1;
 
+    // Live telemetry: heartbeat publisher, sweep-progress metrics,
+    // and the final progress= summary line (all off by default).
+    TelemetryScope telemetry(config, total);
+
     // Progress only on interactive terminals; keep piped/teed output
     // free of carriage-return noise.
     const bool interactive = isatty(fileno(stderr));
@@ -165,6 +170,7 @@ runMatrixParallel(const std::vector<SchemeKind> &schemes,
     std::mutex progressMutex;
     auto report = [&](const Job &job) {
         std::size_t n = ++done;
+        telemetry.noteCellDone();
         if (!interactive)
             return;
         std::lock_guard<std::mutex> lock(progressMutex);
@@ -208,6 +214,9 @@ runMatrixParallel(const std::vector<SchemeKind> &schemes,
         matrix.results[{schemeKindName(plan[i].scheme),
                         plan[i].workload}] = std::move(slots[i]);
     }
+    // Publisher off before profile export: collect() requires every
+    // recording thread (the publisher included) to be quiescent.
+    telemetry.stopPublisher();
     // After the barrier: the sweep index is written exactly once, in
     // canonical order, so it cannot depend on completion order.
     exportSweep(config, matrix);

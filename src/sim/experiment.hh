@@ -113,6 +113,29 @@ struct ExperimentConfig
      * stderr after the sweep, with or without profileOut.
      */
     bool profileSummary = false;
+    /**
+     * Live-telemetry sampling period in milliseconds (sim/telemetry):
+     * every interval a background publisher atomically renames a
+     * heartbeat.json snapshot of the metrics registry into the run
+     * directory. 0 (the default) disables the publisher, leaving each
+     * instrumented site at its one-relaxed-load cost. Manifest-
+     * excluded: outputs are byte-identical either way.
+     */
+    std::uint64_t telemetryIntervalMs = 0;
+    /**
+     * Directory for heartbeat.json ('' = next to stats-json output).
+     */
+    std::string telemetryOut;
+    /**
+     * Consecutive stalled-sim-tick samples before the telemetry
+     * watchdog warns with the active profiler spans (0 = off).
+     */
+    unsigned telemetryWatchdogIntervals = 10;
+    /**
+     * Final one-line run summary on stderr: "off" or "auto" (print
+     * only when stderr is a TTY, keeping CI logs clean).
+     */
+    std::string progress = "auto";
 };
 
 /**

@@ -154,6 +154,21 @@ writeSimCell(JsonWriter &json, const ExperimentConfig &config,
                        static_cast<unsigned>(rec.lrsCount));
         json.endObject();
         json.endObject();
+        // Companion counter track: per-channel queue depth over sim
+        // time, so Perfetto draws the fill level next to the
+        // occupancy spans. Budgeted as part of the same record.
+        json.beginObject();
+        json.field("ph", "C");
+        json.field("name",
+                   "ch" + std::to_string(channel) +
+                       (isWrite ? " write queue" : " read queue"));
+        json.field("pid", pid);
+        json.field("ts", usFromTicks(rec.tick));
+        json.key("args");
+        json.beginObject();
+        json.field("value", rec.queueDepth);
+        json.endObject();
+        json.endObject();
         ++emitted;
     }
     if (!reader.ok()) {

@@ -315,7 +315,8 @@ printTable(std::ostream &out,
 int
 usage(std::ostream &err)
 {
-    err << "usage: ladder_query [GLOB] PATH... [format=FMT]\n"
+    err << "usage: ladder_query [GLOB] PATH... [format=FMT] "
+           "[--list-stats]\n"
            "       ladder_query diff [GLOB] BASE OTHER "
            "[threshold=REL] [format=FMT]\n"
            "PATH: a sweep.json/stats.json file or a directory "
@@ -324,7 +325,10 @@ usage(std::ostream &err)
            "exits 1\n"
            "when any selected stat moves by more than REL (default "
            "0.02)\nrelative to BASE.\n"
-           "FMT: table (default), csv, or json.\n";
+           "FMT: table (default), csv, or json.\n"
+           "--list-stats: print the glob-selected stat names of the "
+           "merged\ntable, one per line (discover names for GLOB "
+           "selection).\n";
     return 2;
 }
 
@@ -426,11 +430,14 @@ ladderQueryMain(const std::vector<std::string> &args,
     std::vector<std::string> positional;
     double threshold = 0.02;
     bool diffMode = false;
+    bool listStats = false;
     OutputFormat format = OutputFormat::Table;
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
         if (i == 0 && arg == "diff") {
             diffMode = true;
+        } else if (arg == "--list-stats") {
+            listStats = true;
         } else if (arg.rfind("format=", 0) == 0) {
             const std::string text = arg.substr(7);
             if (text == "table") {
@@ -475,6 +482,8 @@ ladderQueryMain(const std::vector<std::string> &args,
 
     if (positional.empty() || (diffMode && positional.size() != 2))
         return usage(err);
+    if (diffMode && listStats)
+        return usage(err);
 
     std::vector<StatSource> sources;
     for (const std::string &path : positional) {
@@ -489,6 +498,11 @@ ladderQueryMain(const std::vector<std::string> &args,
 
     if (!diffMode) {
         std::set<std::string> names = selectNames(sources, glob);
+        if (listStats) {
+            for (const std::string &name : names)
+                out << name << "\n";
+            return 0;
+        }
         switch (format) {
         case OutputFormat::Table:
             printTable(out, sources, names);

@@ -91,6 +91,9 @@ std::vector<StatDiff> diffStatSources(const StatSource &base,
  * found a regression, 2 on usage or load errors.
  *
  *   ladder_query [GLOB] PATH...            merge into one table
+ *   ladder_query [GLOB] PATH... --list-stats
+ *                                          print the merged table's
+ *                                          stat names, one per line
  *   ladder_query diff [GLOB] A B
  *                [threshold=REL]           flag |rel delta|>REL (0.02)
  *

@@ -1,0 +1,478 @@
+#include "telemetry.hh"
+
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+#include <condition_variable>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "common/metrics.hh"
+#include "common/profiler.hh"
+
+namespace ladder
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+std::uint64_t
+wallUnixMs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Require an unsigned-number member of @p doc. */
+bool
+numberField(const JsonValue &doc, const char *key, std::uint64_t &out,
+            std::string &error)
+{
+    if (!doc.has(key) || !doc.at(key).isNumber()) {
+        error = std::string("missing numeric field '") + key + "'";
+        return false;
+    }
+    out = static_cast<std::uint64_t>(doc.at(key).number);
+    return true;
+}
+
+} // namespace
+
+void
+writeHeartbeatJson(std::ostream &os, const Heartbeat &hb)
+{
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("schema_version", hb.schemaVersion);
+    json.field("seq", hb.seq);
+    json.field("wall_unix_ms", hb.wallUnixMs);
+    json.field("uptime_ms", hb.uptimeMs);
+    json.field("interval_ms", hb.intervalMs);
+    json.field("sim_tick", hb.simTick);
+    json.field("cells_done", hb.cellsDone);
+    json.field("cells_total", hb.cellsTotal);
+    json.field("eta_seconds", hb.etaSeconds);
+    json.key("counters");
+    json.beginObject();
+    for (const auto &entry : hb.counters)
+        json.field(entry.first, entry.second);
+    json.endObject();
+    json.key("gauges");
+    json.beginObject();
+    for (const auto &entry : hb.gauges)
+        json.field(entry.first, entry.second);
+    json.endObject();
+    json.key("rates_per_s");
+    json.beginObject();
+    for (const auto &entry : hb.ratesPerSec)
+        json.field(entry.first, entry.second);
+    json.endObject();
+    json.endObject();
+    os << "\n";
+}
+
+bool
+parseHeartbeat(const std::string &text, Heartbeat &out,
+               std::string &error)
+{
+    JsonValue doc;
+    try {
+        doc = parseJson(text);
+    } catch (const std::exception &e) {
+        error = e.what();
+        return false;
+    }
+    if (!doc.isObject()) {
+        error = "heartbeat is not a JSON object";
+        return false;
+    }
+    std::uint64_t version = 0;
+    if (!numberField(doc, "schema_version", version, error))
+        return false;
+    if (version != static_cast<std::uint64_t>(heartbeatSchemaVersion)) {
+        error = "unsupported heartbeat schema version " +
+                std::to_string(version);
+        return false;
+    }
+    out = Heartbeat{};
+    out.schemaVersion = static_cast<int>(version);
+    if (!numberField(doc, "seq", out.seq, error) ||
+        !numberField(doc, "wall_unix_ms", out.wallUnixMs, error) ||
+        !numberField(doc, "uptime_ms", out.uptimeMs, error) ||
+        !numberField(doc, "interval_ms", out.intervalMs, error) ||
+        !numberField(doc, "sim_tick", out.simTick, error) ||
+        !numberField(doc, "cells_done", out.cellsDone, error) ||
+        !numberField(doc, "cells_total", out.cellsTotal, error))
+        return false;
+    if (doc.has("eta_seconds") && doc.at("eta_seconds").isNumber())
+        out.etaSeconds = doc.at("eta_seconds").number;
+    auto mapOf = [&](const char *key, auto &dest) {
+        if (!doc.has(key) || !doc.at(key).isObject())
+            return;
+        for (const auto &entry : doc.at(key).object) {
+            if (entry.second.isNumber())
+                dest[entry.first] =
+                    static_cast<typename std::decay_t<
+                        decltype(dest)>::mapped_type>(
+                        entry.second.number);
+        }
+    };
+    mapOf("counters", out.counters);
+    mapOf("gauges", out.gauges);
+    mapOf("rates_per_s", out.ratesPerSec);
+    return true;
+}
+
+bool
+readHeartbeatFile(const std::string &path, Heartbeat &out,
+                  std::string &error)
+{
+    fs::path file(path);
+    std::error_code ec;
+    if (fs::is_directory(file, ec))
+        file /= heartbeatFileName;
+    std::ifstream is(file, std::ios::binary);
+    if (!is.good()) {
+        error = "cannot read '" + file.string() + "'";
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    if (!parseHeartbeat(buffer.str(), out, error)) {
+        error = file.string() + ": " + error;
+        return false;
+    }
+    return true;
+}
+
+TelemetryOptions
+telemetryOptions(const ExperimentConfig &config)
+{
+    TelemetryOptions options;
+    options.intervalMs = config.telemetryIntervalMs;
+    options.watchdogIntervals = config.telemetryWatchdogIntervals;
+    options.dir = !config.telemetryOut.empty() ? config.telemetryOut
+                                               : config.statsJsonDir;
+    if (options.intervalMs > 0 && options.dir.empty()) {
+        warn("telemetry.interval-ms set but neither telemetry.out "
+             "nor stats-json names a directory; telemetry is off");
+        options.intervalMs = 0;
+    }
+    return options;
+}
+
+struct TelemetryPublisher::Impl
+{
+    TelemetryOptions options;
+    std::thread thread;
+    std::mutex mutex;
+    std::condition_variable stopCv;
+    bool stopping = false;
+    bool joined = false;
+    std::atomic<std::uint64_t> published{0};
+
+    std::chrono::steady_clock::time_point start;
+    std::uint64_t seq = 0;
+    /** Previous sample's counters, for rates. */
+    std::map<std::string, std::uint64_t> prevCounters;
+    std::uint64_t prevUptimeMs = 0;
+    /** Watchdog state: last tick and how long it has been stuck. */
+    std::uint64_t lastTick = 0;
+    unsigned stuckIntervals = 0;
+    bool stallReported = false;
+    /** Gauge name -> interned profiler counter-track name. */
+    std::unordered_map<std::string, const char *> profNames;
+
+    void
+    publish(const Heartbeat &hb)
+    {
+        fs::path dir(options.dir);
+        std::error_code ec;
+        fs::create_directories(dir, ec);
+        fs::path tmp = dir / (std::string(heartbeatFileName) + ".tmp");
+        fs::path final = dir / heartbeatFileName;
+        {
+            std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+            if (!os.good()) {
+                warn_once("telemetry: cannot write '%s'",
+                          tmp.string().c_str());
+                return;
+            }
+            writeHeartbeatJson(os, hb);
+        }
+        // Atomic rename: readers see the previous or the new
+        // heartbeat, never a partial file.
+        fs::rename(tmp, final, ec);
+        if (ec) {
+            warn_once("telemetry: rename to '%s' failed: %s",
+                      final.string().c_str(), ec.message().c_str());
+            return;
+        }
+        published.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    Heartbeat
+    sample()
+    {
+        Heartbeat hb;
+        hb.seq = seq++;
+        hb.wallUnixMs = wallUnixMs();
+        hb.uptimeMs = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+        hb.intervalMs = options.intervalMs;
+        for (const metrics::Sample &s : metrics::snapshot()) {
+            if (s.kind == metrics::Kind::Counter)
+                hb.counters[s.name] = s.value;
+            else
+                hb.gauges[s.name] = s.value;
+        }
+        auto gauge = [&](const char *name) -> std::uint64_t {
+            auto it = hb.gauges.find(name);
+            return it != hb.gauges.end() ? it->second : 0;
+        };
+        auto counter = [&](const char *name) -> std::uint64_t {
+            auto it = hb.counters.find(name);
+            return it != hb.counters.end() ? it->second : 0;
+        };
+        hb.simTick = gauge(metrics::names::simTick);
+        hb.cellsDone = counter(metrics::names::cellsDone);
+        hb.cellsTotal = gauge(metrics::names::cellsTotal);
+        if (hb.cellsDone > 0 && hb.cellsTotal >= hb.cellsDone) {
+            hb.etaSeconds =
+                static_cast<double>(hb.uptimeMs) * 1e-3 *
+                static_cast<double>(hb.cellsTotal - hb.cellsDone) /
+                static_cast<double>(hb.cellsDone);
+        }
+        const double dtSec =
+            static_cast<double>(hb.uptimeMs - prevUptimeMs) * 1e-3;
+        if (dtSec > 0.0 && !prevCounters.empty()) {
+            for (const auto &entry : hb.counters) {
+                auto prev = prevCounters.find(entry.first);
+                std::uint64_t before = prev != prevCounters.end()
+                                           ? prev->second
+                                           : 0;
+                if (entry.second >= before)
+                    hb.ratesPerSec[entry.first] =
+                        static_cast<double>(entry.second - before) /
+                        dtSec;
+            }
+        }
+        prevCounters = hb.counters;
+        prevUptimeMs = hb.uptimeMs;
+        return hb;
+    }
+
+    /** Mirror the per-channel gauges onto host Perfetto counter
+     *  tracks ("C" events) when profiling is also on. */
+    void
+    feedProfilerTracks(const Heartbeat &hb)
+    {
+        if (!prof::enabled())
+            return;
+        for (const auto &entry : hb.gauges) {
+            if (entry.first.rfind("ctrl.ch", 0) != 0)
+                continue;
+            auto it = profNames.find(entry.first);
+            if (it == profNames.end()) {
+                it = profNames
+                         .emplace(entry.first,
+                                  prof::internName(entry.first))
+                         .first;
+            }
+            prof::recordCounter(it->second,
+                                static_cast<double>(entry.second));
+        }
+    }
+
+    void
+    watchdog(const Heartbeat &hb)
+    {
+        if (options.watchdogIntervals == 0)
+            return;
+        const bool running =
+            hb.cellsTotal > 0 && hb.cellsDone < hb.cellsTotal;
+        if (!running || hb.simTick != lastTick) {
+            lastTick = hb.simTick;
+            stuckIntervals = 0;
+            stallReported = false;
+            return;
+        }
+        ++stuckIntervals;
+        if (stallReported || stuckIntervals < options.watchdogIntervals)
+            return;
+        stallReported = true;
+        std::string where;
+        for (const prof::ActiveSpan &span : prof::activeSpans()) {
+            if (!where.empty())
+                where += ", ";
+            where += span.threadName.empty()
+                         ? "thread " + std::to_string(span.threadId)
+                         : span.threadName;
+            where += " in '";
+            where += span.name;
+            where += "'";
+        }
+        warn("telemetry watchdog: sim tick stuck at %llu for %u "
+             "intervals (%llu ms) with %llu/%llu cells done%s%s",
+             static_cast<unsigned long long>(hb.simTick),
+             stuckIntervals,
+             static_cast<unsigned long long>(stuckIntervals *
+                                             options.intervalMs),
+             static_cast<unsigned long long>(hb.cellsDone),
+             static_cast<unsigned long long>(hb.cellsTotal),
+             where.empty() ? "" : "; active spans: ",
+             where.c_str());
+    }
+
+    void
+    loop()
+    {
+#if defined(__linux__)
+        pthread_setname_np(pthread_self(), "ladder-telem");
+#endif
+        prof::setCurrentThreadName("ladder-telem");
+        std::unique_lock<std::mutex> lock(mutex);
+        for (;;) {
+            stopCv.wait_for(
+                lock, std::chrono::milliseconds(options.intervalMs),
+                [this]() { return stopping; });
+            if (stopping)
+                return; // stop() publishes the final heartbeat
+            lock.unlock();
+            Heartbeat hb = sample();
+            feedProfilerTracks(hb);
+            watchdog(hb);
+            publish(hb);
+            lock.lock();
+        }
+    }
+};
+
+TelemetryPublisher::TelemetryPublisher(const TelemetryOptions &options)
+    : impl_(std::make_unique<Impl>())
+{
+    ladder_assert(options.active(),
+                  "TelemetryPublisher needs an interval and a "
+                  "directory");
+    impl_->options = options;
+    impl_->start = std::chrono::steady_clock::now();
+    impl_->thread = std::thread([this]() { impl_->loop(); });
+}
+
+TelemetryPublisher::~TelemetryPublisher()
+{
+    stop();
+}
+
+void
+TelemetryPublisher::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        if (impl_->joined)
+            return;
+        impl_->stopping = true;
+    }
+    impl_->stopCv.notify_all();
+    impl_->thread.join();
+    impl_->joined = true;
+    // One final snapshot so the run directory keeps a post-mortem
+    // view (cells done, final counters) after the process exits.
+    impl_->publish(impl_->sample());
+}
+
+std::uint64_t
+TelemetryPublisher::published() const
+{
+    return impl_->published.load(std::memory_order_relaxed);
+}
+
+TelemetryScope::TelemetryScope(const ExperimentConfig &config,
+                               std::uint64_t cellsTotal)
+    : start_(std::chrono::steady_clock::now())
+{
+    TelemetryOptions options = telemetryOptions(config);
+    summaryWanted_ =
+        config.progress == "auto" && isatty(fileno(stderr));
+    metricsWanted_ = options.active() || summaryWanted_;
+    if (!metricsWanted_)
+        return;
+    cellsDoneId_ = metrics::registerCounter(metrics::names::cellsDone);
+    const std::uint32_t totalId =
+        metrics::registerGauge(metrics::names::cellsTotal);
+    metrics::enable();
+    metrics::set(totalId, cellsTotal);
+    if (options.active())
+        publisher_ = std::make_unique<TelemetryPublisher>(options);
+}
+
+TelemetryScope::~TelemetryScope()
+{
+    if (!metricsWanted_)
+        return;
+    publisher_.reset(); // final heartbeat before the summary
+    if (summaryWanted_) {
+        std::uint64_t writes = 0, reads = 0, cells = 0;
+        for (const metrics::Sample &s : metrics::snapshot()) {
+            if (s.name == metrics::names::cellsDone)
+                cells = s.value;
+            else if (s.name.rfind("ctrl.ch", 0) == 0) {
+                if (s.name.size() >= 7 &&
+                    s.name.compare(s.name.size() - 7, 7, ".writes") ==
+                        0)
+                    writes += s.value;
+                else if (s.name.size() >= 6 &&
+                         s.name.compare(s.name.size() - 6, 6,
+                                        ".reads") == 0)
+                    reads += s.value;
+            }
+        }
+        const double wallSec =
+            std::chrono::duration_cast<std::chrono::duration<double>>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        std::fprintf(
+            stderr,
+            "progress: %llu cell%s in %.2f s — %llu writes (%.0f/s), "
+            "%llu reads\n",
+            static_cast<unsigned long long>(cells),
+            cells == 1 ? "" : "s", wallSec,
+            static_cast<unsigned long long>(writes),
+            wallSec > 0.0 ? static_cast<double>(writes) / wallSec
+                          : 0.0,
+            static_cast<unsigned long long>(reads));
+    }
+    metrics::disable();
+}
+
+void
+TelemetryScope::noteCellDone()
+{
+    if (metricsWanted_)
+        metrics::add(cellsDoneId_);
+}
+
+void
+TelemetryScope::stopPublisher()
+{
+    publisher_.reset();
+}
+
+} // namespace ladder

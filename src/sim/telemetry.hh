@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Live telemetry: a background publisher thread samples the metrics
+ * registry (common/metrics) every `telemetry.interval-ms` and
+ * atomically renames a `heartbeat.json` snapshot into the run
+ * directory, so `ladder_top` (or any script) can watch queue depths,
+ * throughput, and sweep progress *while the run executes*. The
+ * publisher doubles as a watchdog: when the simulated tick stops
+ * advancing for `telemetry.watchdog-intervals` consecutive samples
+ * mid-sweep, it logs a warning naming the profiler spans each thread
+ * is currently inside.
+ *
+ * Heartbeats are written to `<dir>/heartbeat.json.tmp` and renamed
+ * over `<dir>/heartbeat.json`, so readers never observe a torn file;
+ * the schema carries a version and a monotonic sequence number. The
+ * final heartbeat (published on stop) stays on disk for post-mortem
+ * inspection — it is volatile output, excluded from byte-identity
+ * comparisons (CI diffs run with `-x 'heartbeat.json*'`).
+ *
+ * Every telemetry knob is manifest-excluded: resolved-config
+ * manifests, goldens, and jobs= byte-identity are unaffected whether
+ * telemetry is on or off.
+ */
+
+#ifndef LADDER_SIM_TELEMETRY_HH
+#define LADDER_SIM_TELEMETRY_HH
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "sim/experiment.hh"
+
+namespace ladder
+{
+
+/** Version written into (and required from) heartbeat files. */
+inline constexpr int heartbeatSchemaVersion = 1;
+
+/** File name the publisher renames snapshots onto. */
+inline constexpr const char *heartbeatFileName = "heartbeat.json";
+
+/** One decoded heartbeat snapshot. */
+struct Heartbeat
+{
+    int schemaVersion = heartbeatSchemaVersion;
+    std::uint64_t seq = 0;        //!< monotonic per publisher session
+    std::uint64_t wallUnixMs = 0; //!< wall clock at sample time
+    std::uint64_t uptimeMs = 0;   //!< since the publisher started
+    std::uint64_t intervalMs = 0; //!< configured sampling period
+    std::uint64_t simTick = 0;    //!< latest controller dispatch tick
+    std::uint64_t cellsDone = 0;  //!< sweep cells finished
+    std::uint64_t cellsTotal = 0; //!< sweep cells planned (0 unknown)
+    double etaSeconds = -1.0;     //!< wall-time estimate (<0 unknown)
+    /** Aggregated counters and gauges, by registry name. */
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, std::uint64_t> gauges;
+    /** Counter deltas per wall second since the previous sample. */
+    std::map<std::string, double> ratesPerSec;
+};
+
+/** Serialize @p hb as a deterministic single JSON object. */
+void writeHeartbeatJson(std::ostream &os, const Heartbeat &hb);
+
+/**
+ * Parse a heartbeat document from @p text. Returns false with
+ * @p error set on malformed JSON, a missing field, or a schema
+ * version we do not understand — tolerant by design, since readers
+ * race run teardown and may meet unrelated files.
+ */
+bool parseHeartbeat(const std::string &text, Heartbeat &out,
+                    std::string &error);
+
+/** parseHeartbeat on the contents of @p path (or `path/heartbeat.json`
+ *  when @p path is a directory). */
+bool readHeartbeatFile(const std::string &path, Heartbeat &out,
+                       std::string &error);
+
+/** Publisher knobs, derived from an ExperimentConfig. */
+struct TelemetryOptions
+{
+    std::uint64_t intervalMs = 0; //!< 0 = publisher off
+    std::string dir;              //!< heartbeat directory
+    unsigned watchdogIntervals = 10; //!< 0 = watchdog off
+
+    bool
+    active() const
+    {
+        return intervalMs > 0 && !dir.empty();
+    }
+};
+
+/** Derive publisher knobs: interval and watchdog from the telemetry
+ *  params, directory from telemetry.out falling back to stats-json. */
+TelemetryOptions telemetryOptions(const ExperimentConfig &config);
+
+/**
+ * The background sampler. Construction starts the thread; stop() (or
+ * destruction) publishes one final heartbeat and joins. Requires
+ * metrics::enable() to have been called by the owner.
+ */
+class TelemetryPublisher
+{
+  public:
+    explicit TelemetryPublisher(const TelemetryOptions &options);
+    ~TelemetryPublisher();
+
+    TelemetryPublisher(const TelemetryPublisher &) = delete;
+    TelemetryPublisher &operator=(const TelemetryPublisher &) = delete;
+
+    /** Publish a final heartbeat and join the thread (idempotent). */
+    void stop();
+
+    /** Heartbeats published so far (tests). */
+    std::uint64_t published() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * RAII wrapper the run drivers use: enables the metrics registry when
+ * telemetry or a progress summary wants it, registers the sweep
+ * gauges, owns the publisher, and on destruction stops the publisher
+ * and prints the `progress=` one-line summary (cells, wall time,
+ * writes/sec) to stderr when active.
+ */
+class TelemetryScope
+{
+  public:
+    TelemetryScope(const ExperimentConfig &config,
+                   std::uint64_t cellsTotal);
+    ~TelemetryScope();
+
+    TelemetryScope(const TelemetryScope &) = delete;
+    TelemetryScope &operator=(const TelemetryScope &) = delete;
+
+    /** Count one finished sweep cell (any thread). */
+    void noteCellDone();
+
+    /**
+     * Stop the heartbeat publisher early (it writes the final
+     * heartbeat). Call before profile export: prof::collect() needs
+     * every recording thread — including the publisher, which mirrors
+     * gauges onto counter tracks — quiescent. The progress summary
+     * still prints at scope exit.
+     */
+    void stopPublisher();
+
+  private:
+    bool metricsWanted_ = false;
+    bool summaryWanted_ = false;
+    std::uint32_t cellsDoneId_ = 0;
+    std::chrono::steady_clock::time_point start_;
+    std::unique_ptr<TelemetryPublisher> publisher_;
+};
+
+} // namespace ladder
+
+#endif // LADDER_SIM_TELEMETRY_HH

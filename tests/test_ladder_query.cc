@@ -121,6 +121,21 @@ TEST(QueryCli, GlobSelectsRows)
     EXPECT_EQ(out.find("data_reads"), std::string::npos);
 }
 
+TEST(QueryCli, ListStatsPrintsNamesOnePerLine)
+{
+    std::string out;
+    ASSERT_EQ(runQuery({"--list-stats", runA}, &out), 0);
+    EXPECT_NE(out.find("baseline__astar.ipc\n"), std::string::npos);
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 10);
+    // Globs narrow the listing; diff mode does not accept the flag.
+    ASSERT_EQ(runQuery({"*.ipc", "--list-stats", runA}, &out), 0);
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+    std::string err;
+    EXPECT_EQ(runQuery({"diff", "--list-stats", runA, runB}, nullptr,
+                       &err),
+              2);
+}
+
 TEST(QueryCli, DiffExitCodeTracksThreshold)
 {
     std::string out;

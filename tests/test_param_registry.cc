@@ -277,6 +277,37 @@ TEST(ParamRegistry, SweepSpecRejectsNonStringLists)
         std::string::npos);
 }
 
+TEST(ParamRegistry, SweepSpecIncludeLayersBeforeIncluder)
+{
+    tempFile("inc_base.json",
+             "{\"schemes\": [\"baseline\"],\n"
+             " \"params\": {\"measure\": 1000, \"warmup\": 500}}\n");
+    // A relative include= resolves against the including file's
+    // directory; the includer's own keys win where they overlap.
+    fs::path top = tempFile(
+        "inc_top.json",
+        "{\"include\": \"inc_base.json\",\n"
+        " \"workloads\": [\"lbm\"],\n"
+        " \"params\": {\"measure\": 4000}}\n");
+    std::string sweepArg = "sweep=" + top.string();
+    ResolvedExperiment r = resolve({sweepArg.c_str()});
+    EXPECT_EQ(r.schemes,
+              (std::vector<SchemeKind>{SchemeKind::Baseline}));
+    EXPECT_EQ(r.workloads, (std::vector<std::string>{"lbm"}));
+    EXPECT_EQ(r.config.measureInstr, 4000u); // includer overrides
+    EXPECT_EQ(r.config.warmupInstr, 500u);   // included value kept
+}
+
+TEST(ParamRegistry, SweepSpecIncludeCycleIsFatal)
+{
+    fs::path a =
+        tempFile("cyc_a.json", "{\"include\": \"cyc_b.json\"}\n");
+    tempFile("cyc_b.json", "{\"include\": \"cyc_a.json\"}\n");
+    std::string sweepArg = "sweep=" + a.string();
+    std::string what = errorOf({sweepArg.c_str()});
+    EXPECT_NE(what.find("include cycle"), std::string::npos) << what;
+}
+
 TEST(ParamRegistry, CliSelectionOverridesSweepSpec)
 {
     fs::path sweep = tempFile(
