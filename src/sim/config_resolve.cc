@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "trace/workload_frontend.hh"
 #include "trace/workloads.hh"
 
 namespace ladder
@@ -65,22 +66,17 @@ loadJsonFile(const std::string &path, const char *what)
     }
 }
 
-/** Validate a CSV/array selection against the known workloads. */
+/**
+ * Validate a CSV/array selection against the workload frontend: the
+ * paper's synthetics, the generator families, and structural
+ * `trace:<path>` names.
+ */
 std::vector<std::string>
 validateWorkloads(const std::vector<std::string> &selected,
                   const std::string &source)
 {
-    const std::vector<std::string> known = allWorkloadNames();
-    for (const auto &name : selected) {
-        bool ok = false;
-        for (const auto &candidate : known)
-            ok |= candidate == name;
-        if (!ok) {
-            fatal("%s: unknown workload '%s'%s", source.c_str(),
-                  name.c_str(),
-                  param_detail::suggestNearest(name, known).c_str());
-        }
-    }
+    for (const auto &name : selected)
+        validateWorkloadName(name, source);
     if (selected.empty())
         fatal("%s: empty workload selection", source.c_str());
     return selected;
@@ -476,6 +472,26 @@ registerExperimentParams(Registry &reg)
     };
 
     // ---------------------------------------------------------------
+    // External trace replay (trace:<path> workloads)
+    // ---------------------------------------------------------------
+    reg.addChoice("extern.format",
+                  LADDER_FIELD(system.frontend.externFormat),
+                  "External trace:<path> encoding ('auto' sniffs the "
+                  "bin2 magic, else DRAMsim3 text)",
+                  {"auto", "dramsim3", "bin2"});
+    reg.addInt<std::uint64_t>(
+        "extern.footprint-pages",
+        LADDER_FIELD(system.frontend.externFootprintPages),
+        "Replay footprint in 4KB pages; external line addresses fold "
+        "into it (lineIdx % footprintLines)",
+        1, std::uint64_t(1) << 24);
+    reg.addChoice("extern.content",
+                  LADDER_FIELD(system.frontend.externContent),
+                  "Write-content synthesis for payload-less traces: "
+                  "typed pattern words or recorded-LRS popcounts",
+                  {"auto", "pattern", "lrs"});
+
+    // ---------------------------------------------------------------
     // Wear policy
     // ---------------------------------------------------------------
     reg.addInt<unsigned>("wear.psi", LADDER_FIELD(wear.startGapPsi),
@@ -512,14 +528,14 @@ applySweepSpec(const JsonValue &spec, const std::string &path,
         fatal("sweep file '%s': top level must be a JSON object",
               path.c_str());
     static const std::vector<std::string> knownKeys = {
-        "include", "schemes", "workloads", "params"};
+        "include", "schemes", "workloads", "params", "cells"};
     for (const auto &member : spec.object) {
         bool ok = false;
         for (const auto &key : knownKeys)
             ok |= key == member.first;
         if (!ok) {
             fatal("sweep file '%s': unknown key '%s'%s (expected "
-                  "include/schemes/workloads/params)",
+                  "include/schemes/workloads/params/cells)",
                   path.c_str(), member.first.c_str(),
                   param_detail::suggestNearest(member.first, knownKeys)
                       .c_str());
@@ -603,6 +619,82 @@ applySweepSpec(const JsonValue &spec, const std::string &path,
     if (spec.has("params")) {
         experimentRegistry().applyJson(out.config, spec.at("params"),
                                        "sweep file '" + path + "'");
+    }
+    if (spec.has("cells")) {
+        const std::string source = "sweep file '" + path + "'";
+        const JsonValue &cells = spec.at("cells");
+        if (!cells.isArray())
+            fatal("%s: 'cells' must be an array of {scheme, "
+                  "workload, params} objects",
+                  source.c_str());
+        for (const JsonValue &cell : cells.array) {
+            if (!cell.isObject())
+                fatal("%s: each 'cells' entry must be an object",
+                      source.c_str());
+            static const std::vector<std::string> cellKeys = {
+                "scheme", "workload", "params"};
+            for (const auto &member : cell.object) {
+                bool ok = false;
+                for (const auto &key : cellKeys)
+                    ok |= key == member.first;
+                if (!ok)
+                    fatal("%s: unknown cell key '%s'%s (expected "
+                          "scheme/workload/params)",
+                          source.c_str(), member.first.c_str(),
+                          param_detail::suggestNearest(member.first,
+                                                       cellKeys)
+                              .c_str());
+            }
+            SweepCellOverride ov;
+            auto cellName = [&](const char *key) {
+                const JsonValue &v = cell.at(key);
+                if (v.type != JsonValue::Type::String)
+                    fatal("%s: cell '%s' must be a name or \"*\"",
+                          source.c_str(), key);
+                return v.string;
+            };
+            if (cell.has("scheme")) {
+                ov.scheme = cellName("scheme");
+                if (ov.scheme != "*")
+                    validateSchemes({ov.scheme}, source);
+            }
+            if (cell.has("workload")) {
+                ov.workload = cellName("workload");
+                if (ov.workload != "*")
+                    validateWorkloads({ov.workload}, source);
+            }
+            if (!cell.has("params") ||
+                !cell.at("params").isObject())
+                fatal("%s: each 'cells' entry needs a 'params' "
+                      "object",
+                      source.c_str());
+            // Validate every assignment now (types, ranges, unknown
+            // keys fail at resolve, not mid-sweep) on a scratch copy,
+            // and keep the stringified form for per-cell application.
+            ExperimentConfig scratch = out.config;
+            for (const auto &member : cell.at("params").object) {
+                const JsonValue &v = member.second;
+                std::string text;
+                switch (v.type) {
+                case JsonValue::Type::String:
+                    text = v.string;
+                    break;
+                case JsonValue::Type::Number:
+                    text = param_detail::formatDouble(v.number);
+                    break;
+                case JsonValue::Type::Bool:
+                    text = v.boolean ? "true" : "false";
+                    break;
+                default:
+                    fatal("%s: cell param '%s' must be a scalar",
+                          source.c_str(), member.first.c_str());
+                }
+                experimentRegistry().set(scratch, member.first, text,
+                                         source);
+                ov.params.emplace_back(member.first, text);
+            }
+            out.config.cellOverrides.push_back(std::move(ov));
+        }
     }
 }
 
@@ -699,8 +791,12 @@ resolveExperiment(int argc, const char *const *argv,
             ec ? out.sweepFile : canonical.string()};
         applySweepSpec(doc, out.sweepFile, out, stack);
     }
-    for (const Assignment &a : cli)
+    for (const Assignment &a : cli) {
         reg.set(out.config, a.key, a.value, "command line");
+        // Remembered for per-cell reapplication: sweep-spec "cells"
+        // overrides apply inside runOne, and the CLI must still win.
+        out.config.cliAssignments.emplace_back(a.key, a.value);
+    }
 
     // CLI scheme/workload selections override the sweep spec's lists.
     if (schemesFromCli) {

@@ -14,6 +14,7 @@
 #include "common/log.hh"
 #include "common/profiler.hh"
 #include "common/thread_pool.hh"
+#include "sim/config_resolve.hh"
 #include "sim/profile_export.hh"
 #include "sim/stats_export.hh"
 #include "sim/telemetry.hh"
@@ -107,10 +108,48 @@ makeTraceSink(SchemeKind scheme, const std::string &workload,
         options);
 }
 
+/**
+ * Layer any matching sweep-spec "cells" overrides (in spec order)
+ * over @p config for one (scheme, workload) cell, then re-apply the
+ * CLI assignments so the command line keeps the last word. Returns
+ * @p config unchanged when no cell matches.
+ */
+static ExperimentConfig
+cellConfig(SchemeKind scheme, const std::string &workload,
+           const ExperimentConfig &config)
+{
+    ExperimentConfig effective = config;
+    const std::string schemeName = schemeKindName(scheme);
+    bool matched = false;
+    for (const SweepCellOverride &cell : config.cellOverrides) {
+        if (cell.scheme != "*" && cell.scheme != schemeName)
+            continue;
+        if (cell.workload != "*" && cell.workload != workload)
+            continue;
+        matched = true;
+        for (const auto &kv : cell.params)
+            experimentRegistry().set(effective, kv.first, kv.second,
+                                     "sweep cell [" + cell.scheme +
+                                         " x " + cell.workload + "]");
+    }
+    if (matched) {
+        for (const auto &kv : config.cliAssignments)
+            experimentRegistry().set(effective, kv.first, kv.second,
+                                     "command line");
+    }
+    return effective;
+}
+
 SimResult
 runOne(SchemeKind scheme, const std::string &workload,
-       const ExperimentConfig &config)
+       const ExperimentConfig &baseConfig)
 {
+    // Per-cell parameter overrides resolve here so every downstream
+    // consumer (System, trace sink, stats export) sees the same
+    // effective configuration — the per-run manifest's
+    // resolved_config therefore reflects the overridden values.
+    const ExperimentConfig config =
+        cellConfig(scheme, workload, baseConfig);
     // Dynamic per-cell label; interned once per run, null (and free)
     // when profiling is off.
     prof::Scope cellSpan(

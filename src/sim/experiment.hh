@@ -11,6 +11,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/system.hh"
@@ -18,6 +19,21 @@
 
 namespace ladder
 {
+
+/**
+ * One per-cell parameter override from a sweep spec's "cells" array:
+ * registry assignments applied only to the (scheme, workload) cells
+ * that match. "*" matches every scheme / workload. Layering within a
+ * run: sweep "params" < matching cells (in spec order) < CLI
+ * key=value — see resolveExperiment and runOne.
+ */
+struct SweepCellOverride
+{
+    std::string scheme = "*";   //!< scheme display name or "*"
+    std::string workload = "*"; //!< workload display name or "*"
+    /** Registry key=value assignments, pre-validated at resolve. */
+    std::vector<std::pair<std::string, std::string>> params;
+};
 
 /**
  * Shared experiment knobs (env LADDER_BENCH_SCALE multiplies sizes).
@@ -136,6 +152,15 @@ struct ExperimentConfig
      * only when stderr is a TTY, keeping CI logs clean).
      */
     std::string progress = "auto";
+    /**
+     * Resolver-internal (not registry parameters): per-cell overrides
+     * from the sweep spec's "cells" array, and the raw CLI key=value
+     * assignments re-applied after any matching cell so the command
+     * line keeps the last word. Both are filled by resolveExperiment
+     * and consumed by runOne.
+     */
+    std::vector<SweepCellOverride> cellOverrides;
+    std::vector<std::pair<std::string, std::string>> cliAssignments;
 };
 
 /**

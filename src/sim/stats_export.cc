@@ -162,6 +162,15 @@ makeRunManifest(SchemeKind scheme, const std::string &workload,
     m.cacheScale = config.cacheScale;
     m.epochCycles = config.epochCycles;
     m.gitDescribe = gitDescribeString();
+    if (isTraceWorkload(workload)) {
+        auto trace = externTraceInfoFor(workload,
+                                        config.system.frontend);
+        m.hasExternTrace = true;
+        m.externTracePath = traceWorkloadPath(workload);
+        m.externTraceFormat = externTraceFormatName(trace->format);
+        m.externTraceRecords = trace->records.size();
+        m.externTraceCrc32 = trace->crc32;
+    }
     if (config.volatileManifest) {
         m.volatileFields = true;
         m.wallClockUtc = utcNow();
@@ -184,6 +193,15 @@ writeManifestFields(JsonWriter &json, const RunManifest &manifest)
     json.field("cache_scale", manifest.cacheScale);
     json.field("epoch_cycles", manifest.epochCycles);
     json.field("git_describe", manifest.gitDescribe);
+    if (manifest.hasExternTrace) {
+        json.field("workload_trace_path", manifest.externTracePath);
+        json.field("workload_trace_format",
+                   manifest.externTraceFormat);
+        json.field("workload_trace_records",
+                   manifest.externTraceRecords);
+        json.field("workload_trace_crc32",
+                   std::uint64_t{manifest.externTraceCrc32});
+    }
     if (manifest.volatileFields) {
         json.field("wall_clock_utc", manifest.wallClockUtc);
         json.field("jobs", manifest.jobs);

@@ -45,6 +45,17 @@ struct RunManifest
     double cacheScale = 1.0;
     std::uint64_t epochCycles = 0;
     std::string gitDescribe;
+    /**
+     * External-trace provenance, present only for `trace:<path>`
+     * workloads: the replayed file, its resolved encoding, record
+     * count, and the CRC-32 of its raw bytes — enough to tell two
+     * runs of "the same" trace name apart when the file changed.
+     */
+    bool hasExternTrace = false;
+    std::string externTracePath;
+    std::string externTraceFormat;
+    std::uint64_t externTraceRecords = 0;
+    std::uint32_t externTraceCrc32 = 0;
     /** Volatile extras (wall clock, jobs); off by default. */
     bool volatileFields = false;
     std::string wallClockUtc;

@@ -149,28 +149,22 @@ System::System(const SystemConfig &config) : config_(config)
                   "traceFiles must match the workload count");
     Addr nextBase = 0;
     for (unsigned c = 0; c < config_.workloads.size(); ++c) {
-        WorkloadParams params = workloadByName(
+        WorkloadInstance inst = makeWorkloadInstance(
             config_.workloads[c], config_.seed * 16 + c,
-            config_.workingSetScale);
-        std::unique_ptr<TraceSource> trace;
-        if (!config_.traceFiles.empty()) {
-            trace = std::make_unique<TraceFileSource>(
-                config_.traceFiles[c]);
-            params.pattern = PatternMix{1, 0, 0, 0, 0, 0};
-        } else {
-            trace = std::make_unique<SyntheticSource>(params);
-        }
-        Addr footprint = trace->footprintBytes();
+            config_.workingSetScale, config_.frontend,
+            config_.traceFiles.empty() ? std::string{}
+                                       : config_.traceFiles[c]);
+        Addr footprint = inst.source->footprintBytes();
         ladder_assert(nextBase + footprint <=
                           dataPages * MemoryGeometry::pageBytes,
                       "workloads exceed the data region");
         regions->push_back(
             {nextBase, footprint,
-             std::make_shared<DataPatternModel>(params.pattern),
-             params.seed});
+             std::make_shared<DataPatternModel>(inst.firstTouch),
+             inst.seed});
         cores_.push_back(std::make_unique<Core>(
-            events_, config_.core, c, std::move(trace), *hierarchy_,
-            route, nextBase));
+            events_, config_.core, c, std::move(inst.source),
+            *hierarchy_, route, nextBase));
         nextBase += footprint;
     }
 

@@ -26,6 +26,7 @@
 #include "ctrl/controller.hh"
 #include "mem/backing_store.hh"
 #include "schemes/factory.hh"
+#include "trace/workload_frontend.hh"
 #include "trace/workloads.hh"
 
 namespace ladder
@@ -43,8 +44,14 @@ struct SystemConfig
     SchemeOptions schemeOptions{};
     unsigned tableGranularity = 8;
     double rangeShrink = 1.0; //!< §7 process-variation ablation
-    /** One name = single-programmed; four = a mix. */
+    /**
+     * One name = single-programmed; four = a mix. Names resolve
+     * through the workload frontend: the paper's synthetics, the
+     * generator families, or `trace:<path>` external replay.
+     */
     std::vector<std::string> workloads{"lbm"};
+    /** External-replay knobs (registry group extern.*). */
+    WorkloadFrontendOptions frontend{};
     /**
      * Optional recorded trace files, one per core; when set (same
      * count as workloads) each core replays its file instead of

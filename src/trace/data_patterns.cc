@@ -11,7 +11,7 @@ namespace ladder
 DataPatternModel::DataPatternModel(const PatternMix &mix) : mix_(mix)
 {
     total_ = mix.zero + mix.smallInt + mix.fp + mix.pointer + mix.text +
-             mix.random;
+             mix.random + mix.ones;
     ladder_assert(total_ > 0.0, "pattern mix has zero total weight");
 }
 
@@ -29,7 +29,12 @@ DataPatternModel::pick(Rng &rng) const
         return Kind::Pointer;
     if ((draw -= mix_.text) < 0.0)
         return Kind::Text;
-    return Kind::Random;
+    if ((draw -= mix_.random) < 0.0)
+        return Kind::Random;
+    // Floating-point remainder lands here; keep Random as the
+    // fallback whenever ones is absent so pre-existing mixes stay
+    // bit-identical.
+    return mix_.ones > 0.0 ? Kind::Ones : Kind::Random;
 }
 
 void
@@ -86,6 +91,9 @@ DataPatternModel::fillWord(Kind kind, Rng &rng, std::uint8_t *out)
       }
       case Kind::Random:
         word = rng.next();
+        break;
+      case Kind::Ones:
+        word = ~std::uint64_t{0};
         break;
     }
     std::memcpy(out, &word, sizeof(word));
@@ -145,7 +153,8 @@ DataPatternModel::expectedDensity() const
     // Rough per-class ones-per-byte densities, for sanity checks.
     double acc = mix_.zero * 0.02 + mix_.smallInt * 0.6 +
                  mix_.fp * 3.2 + mix_.pointer * 1.9 +
-                 mix_.text * 3.0 + mix_.random * 4.0;
+                 mix_.text * 3.0 + mix_.random * 4.0 +
+                 mix_.ones * 8.0;
     return acc / total_;
 }
 

@@ -29,6 +29,13 @@ struct PatternMix
     double pointer = 0.0;  //!< 48-bit canonical heap pointers
     double text = 0.0;     //!< printable ASCII
     double random = 0.0;   //!< incompressible uniform bytes
+    /**
+     * All-ones (0xFF) content: every cell LRS, the worst case for
+     * content-aware RESET latency. Appended after the historical six
+     * classes so existing 6-value brace initializers keep their
+     * meaning (ones defaults to 0, leaving old mixes bit-identical).
+     */
+    double ones = 0.0;
 };
 
 /** Generates lines and store payloads according to a PatternMix. */
@@ -52,7 +59,7 @@ class DataPatternModel
     PatternMix mix_;
     double total_ = 0.0;
 
-    enum class Kind { Zero, SmallInt, Fp, Pointer, Text, Random };
+    enum class Kind { Zero, SmallInt, Fp, Pointer, Text, Random, Ones };
     Kind pick(Rng &rng) const;
     static void fillWord(Kind kind, Rng &rng, std::uint8_t *out);
 };

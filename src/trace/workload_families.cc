@@ -1,0 +1,245 @@
+#include "workload_families.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace ladder
+{
+
+namespace
+{
+
+constexpr std::uint64_t pageBytes = 4096;
+
+std::uint64_t
+scaledPages(std::uint64_t pages, double scale)
+{
+    if (scale == 1.0)
+        return pages;
+    return std::max<std::uint64_t>(
+        4, static_cast<std::uint64_t>(
+               static_cast<double>(pages) * scale));
+}
+
+void
+storeWord(TraceRecord &rec, std::uint64_t word)
+{
+    std::memcpy(rec.storeData.data(), &word, sizeof(word));
+}
+
+} // anonymous namespace
+
+std::vector<std::string>
+familyWorkloadNames()
+{
+    return {"dnn-update", "kv-log", "adv-lrs"};
+}
+
+bool
+isFamilyWorkload(const std::string &name)
+{
+    for (const auto &family : familyWorkloadNames())
+        if (family == name)
+            return true;
+    return false;
+}
+
+PatternMix
+familyFirstTouchMix(const std::string &name)
+{
+    // {zero, int, fp, ptr, text, rand, ones}
+    if (name == "dnn-update")
+        return PatternMix{8.0, 0.5, 1.5, 0.0, 0.0, 0.2, 0.0};
+    if (name == "kv-log")
+        return PatternMix{5.0, 1.5, 0.0, 0.5, 2.5, 0.3, 0.0};
+    if (name == "adv-lrs")
+        return PatternMix{0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0};
+    fatal("unknown workload family '%s'", name.c_str());
+}
+
+std::unique_ptr<TraceSource>
+makeFamilySource(const std::string &name, std::uint64_t seed,
+                 double scale)
+{
+    if (name == "dnn-update")
+        return std::make_unique<DnnWeightUpdateSource>(seed, scale);
+    if (name == "kv-log")
+        return std::make_unique<KvLogSource>(seed, scale);
+    if (name == "adv-lrs")
+        return std::make_unique<AdversarialLrsSource>(seed, scale);
+    fatal("unknown workload family '%s'", name.c_str());
+}
+
+// ---------------------------------------------------------------
+// dnn-update
+// ---------------------------------------------------------------
+
+DnnWeightUpdateSource::DnnWeightUpdateSource(std::uint64_t seed,
+                                             double scale)
+    : rng_(seed), pages_(scaledPages(2048, scale))
+{
+}
+
+std::uint64_t
+DnnWeightUpdateSource::footprintBytes() const
+{
+    return pages_ * pageBytes;
+}
+
+TraceRecord
+DnnWeightUpdateSource::next()
+{
+    const std::uint64_t lines = footprintBytes() / lineBytes;
+    TraceRecord rec;
+    rec.nonMemBefore = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(rng_.nextGeometric(0.30), 64));
+    if (rng_.nextBool(0.55)) {
+        // Weight update: sweep the parameter tensor layer by layer,
+        // writing each 64B line word by word before advancing — the
+        // optimizer's sequential pass.
+        rec.isWrite = true;
+        if (dwell_ == 0)
+            dwell_ = lineBytes / 8;
+        rec.lineAddr = cursorLine_ * lineBytes;
+        rec.storeOffset = (lineBytes / 8 - dwell_) * 8;
+        if (--dwell_ == 0)
+            cursorLine_ = (cursorLine_ + 1) % lines;
+        // Sparse magnitude-skewed deltas: most updates round to zero
+        // (pruned/tiny gradients), the rest are small-magnitude
+        // doubles — the zero-heavy, low-LRS content ARAS exploits.
+        if (rng_.nextBool(zeroWordFraction)) {
+            storeWord(rec, 0);
+        } else {
+            double mant = rng_.nextDouble() * 2.0 - 1.0;
+            int exp = -static_cast<int>(
+                std::min<std::uint64_t>(rng_.nextGeometric(0.25), 24));
+            double delta = std::ldexp(mant, exp);
+            std::uint64_t word = 0;
+            std::memcpy(&word, &delta, sizeof(word));
+            storeWord(rec, word);
+        }
+    } else {
+        // Forward/backward pass: read weights from anywhere in the
+        // tensor (uniform across layers).
+        rec.isWrite = false;
+        rec.lineAddr = rng_.nextBounded(lines) * lineBytes;
+    }
+    return rec;
+}
+
+// ---------------------------------------------------------------
+// kv-log
+// ---------------------------------------------------------------
+
+KvLogSource::KvLogSource(std::uint64_t seed, double scale)
+    : rng_(seed), tablePages_(scaledPages(1536, scale)),
+      logPages_(scaledPages(512, scale))
+{
+}
+
+std::uint64_t
+KvLogSource::footprintBytes() const
+{
+    return (tablePages_ + logPages_) * pageBytes;
+}
+
+TraceRecord
+KvLogSource::next()
+{
+    const std::uint64_t tableLines = tablePages_ * pageBytes / lineBytes;
+    const std::uint64_t logLines = logPages_ * pageBytes / lineBytes;
+    TraceRecord rec;
+    rec.nonMemBefore = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(rng_.nextGeometric(0.25), 64));
+
+    // One fixed 64B slot per key; a write fills one value word.
+    auto synthesizeValue = [this](TraceRecord &r) {
+        r.storeOffset =
+            static_cast<unsigned>(rng_.nextBounded(8)) * 8;
+        if (rng_.nextBool(zeroWordFraction)) {
+            // Zero padding: values are shorter than their slots.
+            storeWord(r, 0);
+            return;
+        }
+        std::uint64_t word = 0;
+        if (rng_.nextBool(0.5)) {
+            // Small integer field (counter, id, timestamp delta).
+            word = rng_.nextGeometric(0.001);
+        } else {
+            // Short ASCII value fragment.
+            for (unsigned i = 0; i < 8; ++i) {
+                std::uint8_t c = rng_.nextBool(0.2)
+                                     ? 0x20
+                                     : static_cast<std::uint8_t>(
+                                           0x61 + rng_.nextBounded(26));
+                word |= std::uint64_t(c) << (8 * i);
+            }
+        }
+        storeWord(r, word);
+    };
+
+    if (rng_.nextBool(0.6)) {
+        // Table op on a Zipf-hot key (the classic KV skew).
+        std::uint64_t key = rng_.nextZipf(tableLines, 0.9);
+        rec.lineAddr = key * lineBytes;
+        rec.isWrite = rng_.nextBool(0.3); // put : get = 3 : 7
+        if (rec.isWrite)
+            synthesizeValue(rec);
+    } else {
+        // Log-structured append: strictly sequential writes into the
+        // log region behind the table, wrapping like a ring.
+        rec.isWrite = true;
+        rec.lineAddr =
+            (tableLines + logCursorLine_) * lineBytes;
+        logCursorLine_ = (logCursorLine_ + 1) % logLines;
+        synthesizeValue(rec);
+    }
+    return rec;
+}
+
+// ---------------------------------------------------------------
+// adv-lrs
+// ---------------------------------------------------------------
+
+AdversarialLrsSource::AdversarialLrsSource(std::uint64_t seed,
+                                           double scale)
+    // Footprint well above the (scaled) LLC so the sweep's stores
+    // continuously stream dirty all-ones lines out to the controller.
+    : pages_(scaledPages(3584, scale))
+{
+    (void)seed; // fully deterministic even without a seed
+}
+
+std::uint64_t
+AdversarialLrsSource::footprintBytes() const
+{
+    return pages_ * pageBytes;
+}
+
+TraceRecord
+AdversarialLrsSource::next()
+{
+    // Every request is a store of 0xFF bytes, sweeping all 8 words of
+    // every line in the footprint with no compute gaps: each line
+    // converges to all-LRS content, and with first-touch content also
+    // all-ones (see familyFirstTouchMix) every RESET runs at the
+    // timing tables' content maximum from the first write on.
+    const std::uint64_t lines = footprintBytes() / lineBytes;
+    TraceRecord rec;
+    rec.nonMemBefore = 0;
+    rec.isWrite = true;
+    rec.lineAddr = cursorLine_ * lineBytes;
+    rec.storeOffset = wordInLine_ * 8;
+    rec.storeData.fill(0xff);
+    if (++wordInLine_ == lineBytes / 8) {
+        wordInLine_ = 0;
+        cursorLine_ = (cursorLine_ + 1) % lines;
+    }
+    return rec;
+}
+
+} // namespace ladder

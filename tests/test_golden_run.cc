@@ -85,22 +85,29 @@ slurp(const fs::path &path)
     return os.str();
 }
 
-TEST(GoldenRun, BaselineLbmMatchesCommittedBytes)
+/**
+ * Run one golden cell end to end and compare (or regenerate) the
+ * committed reference bytes. @p cell is the canonical directory name
+ * `<scheme>__<workload>`; @p extraChecks runs against the parsed
+ * stats.json document after the byte comparison.
+ */
+void
+checkGoldenCell(SchemeKind scheme, const std::string &workload,
+                const std::string &cell)
 {
     ASSERT_TRUE(pinnedDescribe);
-    const fs::path goldenDir = fs::path(LADDER_GOLDEN_DIR) /
-                               "baseline__lbm";
+    const fs::path goldenDir = fs::path(LADDER_GOLDEN_DIR) / cell;
     const fs::path outDir =
-        fs::path(::testing::TempDir()) / "ladder_golden";
+        fs::path(::testing::TempDir()) / ("ladder_golden_" + cell);
     fs::remove_all(outDir);
 
     ExperimentConfig cfg = goldenConfig(outDir);
-    runOne(SchemeKind::Baseline, "lbm", cfg);
+    runOne(scheme, workload, cfg);
 
     const fs::path statsOut =
-        fs::path(cfg.statsJsonDir) / "baseline__lbm" / "stats.json";
+        fs::path(cfg.statsJsonDir) / cell / "stats.json";
     const fs::path traceOut =
-        fs::path(cfg.traceOutDir) / "baseline__lbm" / "trace.bin";
+        fs::path(cfg.traceOutDir) / cell / "trace.bin";
     std::string stats = slurp(statsOut);
     std::string trace = slurp(traceOut);
     ASSERT_FALSE(stats.empty()) << statsOut;
@@ -153,17 +160,35 @@ TEST(GoldenRun, BaselineLbmMatchesCommittedBytes)
     // identical run must produce the same bytes, or the golden gate
     // would flake rather than catch drift.
     const fs::path outDir2 =
-        fs::path(::testing::TempDir()) / "ladder_golden2";
+        fs::path(::testing::TempDir()) /
+        ("ladder_golden2_" + cell);
     fs::remove_all(outDir2);
     ExperimentConfig cfg2 = goldenConfig(outDir2);
-    runOne(SchemeKind::Baseline, "lbm", cfg2);
-    EXPECT_EQ(stats, slurp(fs::path(cfg2.statsJsonDir) /
-                           "baseline__lbm" / "stats.json"));
-    EXPECT_EQ(trace, slurp(fs::path(cfg2.traceOutDir) /
-                           "baseline__lbm" / "trace.bin"));
+    runOne(scheme, workload, cfg2);
+    EXPECT_EQ(stats, slurp(fs::path(cfg2.statsJsonDir) / cell /
+                           "stats.json"));
+    EXPECT_EQ(trace, slurp(fs::path(cfg2.traceOutDir) / cell /
+                           "trace.bin"));
 
     fs::remove_all(outDir);
     fs::remove_all(outDir2);
+}
+
+TEST(GoldenRun, BaselineLbmMatchesCommittedBytes)
+{
+    checkGoldenCell(SchemeKind::Baseline, "lbm", "baseline__lbm");
+}
+
+/**
+ * Second cell: a content-aware generator family through the LADDER
+ * scheme, locking the new workload frontend's observable behaviour
+ * (generator stream, first-touch content, timing interaction) to
+ * committed bytes.
+ */
+TEST(GoldenRun, LadderHybridDnnUpdateMatchesCommittedBytes)
+{
+    checkGoldenCell(SchemeKind::LadderHybrid, "dnn-update",
+                    "LADDER-Hybrid__dnn-update");
 }
 
 } // namespace

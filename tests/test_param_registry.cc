@@ -501,5 +501,140 @@ TEST(ParamRegistry, FileAndCliRunsAreByteIdenticalAtAnyJobs)
     fs::remove_all(base);
 }
 
+// ---------------------------------------------------------------
+// Per-cell overrides ("cells" in sweep specs)
+// ---------------------------------------------------------------
+
+TEST(ParamRegistry, SweepCellsParseValidateAndStringify)
+{
+    fs::path sweep = tempFile(
+        "cells.json",
+        "{\"schemes\": [\"baseline\", \"LADDER-Hybrid\"],\n"
+        " \"workloads\": [\"lbm\", \"kv-log\"],\n"
+        " \"cells\": [\n"
+        "  {\"scheme\": \"baseline\", \"workload\": \"lbm\",\n"
+        "   \"params\": {\"epoch-cycles\": 5000,\n"
+        "               \"trace-stream\": true}},\n"
+        "  {\"workload\": \"kv-log\",\n"
+        "   \"params\": {\"trace-chunk\": 128}}\n"
+        " ]}\n");
+    std::string sweepArg = "sweep=" + sweep.string();
+    ResolvedExperiment r = resolve({sweepArg.c_str()});
+    ASSERT_EQ(r.config.cellOverrides.size(), 2u);
+    const SweepCellOverride &first = r.config.cellOverrides[0];
+    EXPECT_EQ(first.scheme, "baseline");
+    EXPECT_EQ(first.workload, "lbm");
+    ASSERT_EQ(first.params.size(), 2u);
+    EXPECT_EQ(first.params[0].first, "epoch-cycles");
+    EXPECT_EQ(first.params[0].second, "5000"); // stringified number
+    EXPECT_EQ(first.params[1].second, "true"); // stringified bool
+    const SweepCellOverride &second = r.config.cellOverrides[1];
+    EXPECT_EQ(second.scheme, "*"); // omitted half defaults to wildcard
+    EXPECT_EQ(second.workload, "kv-log");
+    // Overrides are per-cell only: the base config is untouched.
+    EXPECT_EQ(r.config.epochCycles, 0u);
+    EXPECT_EQ(r.config.traceChunkRecords, 64u * 1024);
+}
+
+TEST(ParamRegistry, SweepCellsRejectBadShapes)
+{
+    auto sweepError = [](const char *name, const std::string &json) {
+        fs::path file = tempFile(name, json);
+        std::string arg = "sweep=" + file.string();
+        return errorOf({arg.c_str()});
+    };
+    // Unknown cell key, with a near-miss suggestion.
+    EXPECT_NE(sweepError("c1.json",
+                         "{\"cells\": [{\"schem\": \"baseline\", "
+                         "\"params\": {}}]}")
+                  .find("unknown cell key 'schem'"),
+              std::string::npos);
+    // Unknown parameter inside a cell fails at resolve, not mid-sweep.
+    EXPECT_NE(sweepError("c2.json",
+                         "{\"cells\": [{\"params\": "
+                         "{\"measrue\": 5}}]}")
+                  .find("measure"),
+              std::string::npos);
+    // Out-of-range value inside a cell fails at resolve too.
+    EXPECT_NE(sweepError("c3.json",
+                         "{\"cells\": [{\"params\": "
+                         "{\"granularity\": 0}}]}")
+                  .find("out of range"),
+              std::string::npos);
+    // Bad scheme / workload names are validated like the top-level
+    // lists (near-miss included).
+    EXPECT_NE(sweepError("c4.json",
+                         "{\"cells\": [{\"scheme\": \"basline\", "
+                         "\"params\": {}}]}")
+                  .find("unknown scheme"),
+              std::string::npos);
+    EXPECT_NE(sweepError("c5.json",
+                         "{\"cells\": [{\"workload\": \"dnn-updat\", "
+                         "\"params\": {}}]}")
+                  .find("dnn-update"),
+              std::string::npos);
+    // Structural errors: non-array cells, non-object entry, missing
+    // params, non-scalar param value.
+    EXPECT_NE(sweepError("c6.json", "{\"cells\": {}}")
+                  .find("must be an array"),
+              std::string::npos);
+    EXPECT_NE(sweepError("c7.json", "{\"cells\": [7]}")
+                  .find("must be an object"),
+              std::string::npos);
+    EXPECT_NE(sweepError("c8.json",
+                         "{\"cells\": [{\"scheme\": \"baseline\"}]}")
+                  .find("needs a 'params' object"),
+              std::string::npos);
+    EXPECT_NE(sweepError("c9.json",
+                         "{\"cells\": [{\"params\": "
+                         "{\"epoch-cycles\": [1]}}]}")
+                  .find("must be a scalar"),
+              std::string::npos);
+}
+
+TEST(ParamRegistry, SweepCellsPrecedenceAcrossTheFullStack)
+{
+    // One matching and one non-matching cell, plus a CLI assignment
+    // that collides with a cell param. Expected layering per cell:
+    // defaults < sweep params < cells < CLI.
+    fs::path sweep = tempFile(
+        "cells-prec.json",
+        "{\"params\": {\"epoch-cycles\": 10000},\n"
+        " \"cells\": [\n"
+        "  {\"scheme\": \"baseline\", \"workload\": \"lbm\",\n"
+        "   \"params\": {\"epoch-cycles\": 5000,\n"
+        "               \"trace-chunk\": 128}}\n"
+        " ]}\n");
+    fs::path base = fs::path(::testing::TempDir()) / "ladder_cells";
+    fs::remove_all(base);
+    std::string sweepArg = "sweep=" + sweep.string();
+    std::string statsArg = "stats-json=" + base.string();
+    ResolvedExperiment r = resolve(
+        {sweepArg.c_str(), statsArg.c_str(), "warmup=4000",
+         "measure=1500", "cache-scale=0.0625", "epoch-cycles=2500"});
+    // The colliding CLI assignment is recorded for re-application.
+    ASSERT_FALSE(r.config.cliAssignments.empty());
+
+    runOne(SchemeKind::Baseline, "lbm", r.config);
+    runOne(SchemeKind::LadderHybrid, "lbm", r.config);
+
+    JsonValue matched =
+        parseJson(slurp(base / "baseline__lbm" / "stats.json"));
+    JsonValue unmatched =
+        parseJson(slurp(base / "LADDER-Hybrid__lbm" / "stats.json"));
+    ASSERT_TRUE(matched.isObject());
+    ASSERT_TRUE(unmatched.isObject());
+    const JsonValue &mc = matched.at("resolved_config");
+    const JsonValue &uc = unmatched.at("resolved_config");
+    // Matched cell: cell beats sweep params, CLI beats the cell.
+    EXPECT_DOUBLE_EQ(mc.at("trace-chunk").number, 128.0);
+    EXPECT_DOUBLE_EQ(mc.at("epoch-cycles").number, 2500.0);
+    // Non-matching cell: no cell params, CLI value as resolved.
+    EXPECT_DOUBLE_EQ(uc.at("trace-chunk").number, 65536.0);
+    EXPECT_DOUBLE_EQ(uc.at("epoch-cycles").number, 2500.0);
+
+    fs::remove_all(base);
+}
+
 } // namespace
 } // namespace ladder
