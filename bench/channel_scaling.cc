@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Channel-engine scaling bench: one (scheme, workload) cell run
+ * twice on the windowed engine — sequentially (ctrl.channel-threads=1)
+ * and channel-parallel (one worker per channel) — with wall-clock
+ * speedup reported and every SimResult field required to match at the
+ * bit level (the engine's determinism contract).
+ *
+ * On hosts with >= 8 hardware threads the parallel run must beat the
+ * sequential one by >= 2x at the default 8-channel geometry; on
+ * smaller hosts the speedup is reported but not enforced (the workers
+ * just time-slice one core). Scale the window with measure= /
+ * LADDER_BENCH_SCALE for a steadier measurement.
+ *
+ *   ./channel_scaling                          # LADDER-Hybrid / lbm
+ *   ./channel_scaling workload=astar measure=4000000
+ */
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "bench_common.hh"
+
+using namespace ladder;
+
+namespace
+{
+
+/** Bit-level SimResult equality (no tolerance). */
+bool
+sameBits(const SimResult &a, const SimResult &b)
+{
+    if (a.coreIpc.size() != b.coreIpc.size())
+        return false;
+    if (!a.coreIpc.empty() &&
+        std::memcmp(a.coreIpc.data(), b.coreIpc.data(),
+                    a.coreIpc.size() * sizeof(double)) != 0)
+        return false;
+    auto bits = [](const SimResult &r) {
+        // Every scalar field, in declaration order.
+        struct Scalars
+        {
+            double ipc;
+            std::uint64_t instructions;
+            double elapsedNs, avgReadLatencyNs, avgWriteServiceNs,
+                avgWriteTwrNs;
+            std::uint64_t dataReads, metadataReads, smbReads,
+                dataWrites, metadataWrites;
+            double readEnergyPj, writeEnergyPj, fnwFlips,
+                fnwCancelled, estCounterDiffMean, estimatedCwMean,
+                accurateCwMean, spillInsertions;
+        } s{r.ipc,
+            r.instructions,
+            r.elapsedNs,
+            r.avgReadLatencyNs,
+            r.avgWriteServiceNs,
+            r.avgWriteTwrNs,
+            r.dataReads,
+            r.metadataReads,
+            r.smbReads,
+            r.dataWrites,
+            r.metadataWrites,
+            r.readEnergyPj,
+            r.writeEnergyPj,
+            r.fnwFlips,
+            r.fnwCancelled,
+            r.estCounterDiffMean,
+            r.estimatedCwMean,
+            r.accurateCwMean,
+            r.spillInsertions};
+        return s;
+    };
+    auto sa = bits(a), sb = bits(b);
+    return std::memcmp(&sa, &sb, sizeof(sa)) == 0;
+}
+
+double
+timedRun(SchemeKind kind, const std::string &workload,
+         const ExperimentConfig &cfg, unsigned channelThreads,
+         SimResult &out)
+{
+    ExperimentConfig run = cfg;
+    run.system.controller.channelThreads = channelThreads;
+    SystemConfig sys = makeSystemConfig(kind, workload, run);
+    System system(sys);
+    auto start = std::chrono::steady_clock::now();
+    out = system.run(run.warmupInstr, run.measureInstr);
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ExperimentConfig cfg = defaultExperimentConfig();
+    cfg.system.geometry.channels = 8;
+    BenchArgs args = parseBenchArgs(argc, argv, cfg, {"lbm"},
+                                    {SchemeKind::LadderHybrid});
+    SchemeKind kind = args.schemes.front();
+    const std::string &workload = args.workloads.front();
+    const unsigned channels = cfg.system.geometry.channels;
+    const unsigned hw = std::thread::hardware_concurrency();
+    const unsigned workers =
+        cfg.system.controller.channelThreads > 1
+            ? cfg.system.controller.channelThreads
+            : channels;
+
+    std::printf("=== Channel-engine scaling: %s / %s, %u channels, "
+                "%u-thread host ===\n\n",
+                schemeKindName(kind).c_str(), workload.c_str(),
+                channels, hw);
+
+    // Both variants run the windowed engine (the sequential leg is
+    // channel-threads=1, not the legacy shared queue), so identical
+    // bits are required, not merely expected.
+    SimResult seq, par;
+    double seqSec = timedRun(kind, workload, cfg, 1, seq);
+    double parSec = timedRun(kind, workload, cfg, workers, par);
+    if (!sameBits(seq, par))
+        fatal("channel_scaling: channel-threads=%u diverged from "
+              "channel-threads=1 — determinism contract broken",
+              workers);
+
+    const std::uint64_t requests = seq.dataReads + seq.metadataReads +
+                                   seq.smbReads + seq.dataWrites +
+                                   seq.metadataWrites;
+    double speedup = parSec > 0.0 ? seqSec / parSec : 0.0;
+    std::printf("  %-24s %10s %12s\n", "variant", "wall [s]",
+                "requests");
+    std::printf("  %-24s %10.3f %12llu\n", "sequential (ct=1)",
+                seqSec, static_cast<unsigned long long>(requests));
+    std::printf("  %-24s %10.3f %12s\n",
+                ("parallel (ct=" + std::to_string(workers) + ")")
+                    .c_str(),
+                parSec, "same (bit-identical)");
+    std::printf("\n  speedup: %.2fx\n", speedup);
+
+    if (hw >= 8) {
+        if (speedup < 2.0) {
+            std::fprintf(stderr,
+                         "channel_scaling: speedup %.2fx < 2x on a "
+                         "%u-thread host\n",
+                         speedup, hw);
+            return 1;
+        }
+    } else {
+        std::printf("  (host has %u < 8 hardware threads; the 2x "
+                    "gate is skipped)\n",
+                    hw);
+    }
+    return 0;
+}

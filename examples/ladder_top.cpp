@@ -56,6 +56,25 @@ channelRate(const Heartbeat &hb, const std::string &suffix)
     return sum;
 }
 
+/** Per-channel write rates as "810/795/802" (channel order). */
+std::string
+perChannelWriteRates(const Heartbeat &hb)
+{
+    std::string out;
+    for (unsigned channel = 0; channel < 64; ++channel) {
+        auto it = hb.ratesPerSec.find(
+            "ctrl.ch" + std::to_string(channel) + ".writes");
+        if (it == hb.ratesPerSec.end())
+            break;
+        if (!out.empty())
+            out += "/";
+        char rate[24];
+        std::snprintf(rate, sizeof(rate), "%.0f", it->second);
+        out += rate;
+    }
+    return out.empty() ? "-" : out;
+}
+
 /** Per-channel write-queue depths as "3/0/12" (channel order). */
 std::string
 queueDepths(const Heartbeat &hb)
@@ -85,9 +104,9 @@ nowUnixMs()
 void
 printTable(std::vector<Source> &sources)
 {
-    std::printf("%-28s %6s %6s %9s %12s %10s %10s %s\n", "run", "seq",
-                "age", "cells", "tick", "writes/s", "reads/s",
-                "wq depth");
+    std::printf("%-28s %6s %6s %9s %12s %10s %10s %-18s %s\n", "run",
+                "seq", "age", "cells", "tick", "writes/s", "reads/s",
+                "ch writes/s", "wq depth");
     const std::uint64_t now = nowUnixMs();
     for (Source &src : sources) {
         if (!src.valid) {
@@ -106,14 +125,14 @@ printTable(std::vector<Source> &sources)
                       static_cast<unsigned long long>(hb.cellsTotal));
         char age[16];
         std::snprintf(age, sizeof(age), "%.1fs", ageSec);
-        std::printf("%-28s %6llu %6s %9s %12llu %10.0f %10.0f %s\n",
-                    src.path.c_str(),
-                    static_cast<unsigned long long>(hb.seq), age,
-                    cells,
-                    static_cast<unsigned long long>(hb.simTick),
-                    channelRate(hb, ".writes"),
-                    channelRate(hb, ".reads"),
-                    queueDepths(hb).c_str());
+        std::printf(
+            "%-28s %6llu %6s %9s %12llu %10.0f %10.0f %-18s %s\n",
+            src.path.c_str(),
+            static_cast<unsigned long long>(hb.seq), age, cells,
+            static_cast<unsigned long long>(hb.simTick),
+            channelRate(hb, ".writes"), channelRate(hb, ".reads"),
+            perChannelWriteRates(hb).c_str(),
+            queueDepths(hb).c_str());
     }
 }
 

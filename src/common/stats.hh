@@ -9,6 +9,7 @@
 #ifndef LADDER_COMMON_STATS_HH
 #define LADDER_COMMON_STATS_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -33,6 +34,9 @@ class StatScalar
     void set(double v) { value_ = v; }
     void reset() { value_ = 0.0; }
 
+    /** Fold another scalar's accumulated value into this one. */
+    void mergeFrom(const StatScalar &other) { value_ += other.value_; }
+
     double value() const { return value_; }
 
   private:
@@ -45,6 +49,20 @@ class StatAverage
   public:
     void sample(double v);
     void reset();
+
+    /**
+     * Fold another average's samples into this one. Summation order
+     * is the caller's responsibility; the channel engine folds shards
+     * in fixed channel order so the result is deterministic.
+     */
+    void
+    mergeFrom(const StatAverage &other)
+    {
+        sum_ += other.sum_;
+        count_ += other.count_;
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
 
     double mean() const;
     double min() const { return count_ ? min_ : 0.0; }

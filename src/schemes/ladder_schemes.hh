@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "common/stats.hh"
 #include "ctrl/controller.hh"
@@ -43,12 +44,17 @@ class LadderBasicScheme : public WriteScheme
     void onWriteComplete(MemoryController &ctrl,
                          WriteEntry &entry) override;
     bool constrainedFnw() const override { return true; }
+    void setChannelShards(unsigned channels) override;
+    void foldChannelShards() override;
 
     /** Accurate C_w sampled per write (Fig. 15 reference series). */
     StatAverage accurateCw;
 
   private:
     std::shared_ptr<MetadataLayout> layout_;
+    /** Per-channel sample shards (engine mode only; empty = legacy,
+     *  sampling straight into accurateCw). */
+    std::vector<StatAverage> accurateCwShards_;
 };
 
 /** LADDER-Est: partial-counter estimation + bit-level shifting. */
@@ -70,6 +76,8 @@ class LadderEstScheme : public WriteScheme
     LineData encodeData(Addr addr, const LineData &data) const override;
     LineData decodeData(Addr addr, const LineData &data) const override;
     bool constrainedFnw() const override { return true; }
+    void setChannelShards(unsigned channels) override;
+    void foldChannelShards() override;
 
     /** Signed difference (estimated - accurate) per write (Fig. 15). */
     StatAverage counterDiff;
@@ -86,12 +94,34 @@ class LadderEstScheme : public WriteScheme
     virtual void crashRecover();
 
   protected:
+    using ShadowMap =
+        std::unordered_map<std::uint64_t, std::array<std::uint8_t, 64>>;
+
     std::shared_ptr<MetadataLayout> layout_;
     bool shifting_;
 
-    /** Shadow contents of the per-page metadata lines. */
-    std::unordered_map<std::uint64_t, std::array<std::uint8_t, 64>>
-        shadow_;
+    /**
+     * Shadow contents of the per-page metadata lines, sharded by page
+     * channel (page % shard count) so engine workers touch disjoint
+     * maps. One shard in legacy mode; first-touch derivation depends
+     * only on the page content, so shard count never changes values.
+     */
+    std::vector<ShadowMap> shadow_{1};
+    /** Per-channel sample shards (engine mode only; empty = legacy). */
+    std::vector<StatAverage> counterDiffShards_;
+    std::vector<StatAverage> estimatedCwShards_;
+
+    ShadowMap &
+    shadowShard(std::uint64_t page)
+    {
+        return shadow_[page % shadow_.size()];
+    }
+    StatAverage &
+    estimatedCwStat(unsigned channel)
+    {
+        return estimatedCwShards_.empty() ? estimatedCw
+                                          : estimatedCwShards_[channel];
+    }
 
     std::array<std::uint8_t, 64> &pageShadow(MemoryController &ctrl,
                                              std::uint64_t page);
@@ -111,14 +141,21 @@ class LadderHybridScheme : public LadderEstScheme
     WriteDecision decideWrite(MemoryController &ctrl, WriteEntry &entry,
                               const LineData &finalData) override;
     void crashRecover() override;
+    void setChannelShards(unsigned channels) override;
 
     unsigned lowRows() const { return lowRows_; }
 
   private:
     unsigned lowRows_;
-    /** Shadow of 1-bit metadata, keyed by page. */
-    std::unordered_map<std::uint64_t, std::array<std::uint8_t, 64>>
-        lowShadow_;
+    /** Shadow of 1-bit metadata, keyed by page (sharded like the
+     *  2-bit shadow in the base class). */
+    std::vector<ShadowMap> lowShadow_{1};
+
+    ShadowMap &
+    lowShadowShard(std::uint64_t page)
+    {
+        return lowShadow_[page % lowShadow_.size()];
+    }
 
     bool lowPrecision(const BlockLocation &loc) const;
     std::array<std::uint8_t, 64> &lowPageShadow(MemoryController &ctrl,

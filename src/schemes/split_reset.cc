@@ -58,9 +58,13 @@ SplitResetScheme::decideWrite(MemoryController &ctrl, WriteEntry &entry,
     // Compression is decided on the logical data the processor sent.
     bool compressible = fpcCompressible(entry.data);
     if (compressible)
-        ++compressibleWrites;
+        ++(compressibleShards_.empty()
+               ? compressibleWrites
+               : compressibleShards_[entry.loc.channel]);
     else
-        ++incompressibleWrites;
+        ++(incompressibleShards_.empty()
+               ? incompressibleWrites
+               : incompressibleShards_[entry.loc.channel]);
 
     // The half-RESET model carries its own dense surface; honour the
     // controller's surface switch so differential runs stay exact.
@@ -73,6 +77,26 @@ SplitResetScheme::decideWrite(MemoryController &ctrl, WriteEntry &entry,
     unsigned phases = compressible ? 1 : 2;
     // Each half-RESET phase drives half the selected cells.
     return {phase.latencyNs * phases, phase.powerMw, 0.6};
+}
+
+void
+SplitResetScheme::setChannelShards(unsigned channels)
+{
+    compressibleShards_.assign(channels, StatScalar{});
+    incompressibleShards_.assign(channels, StatScalar{});
+}
+
+void
+SplitResetScheme::foldChannelShards()
+{
+    for (auto &shard : compressibleShards_) {
+        compressibleWrites.mergeFrom(shard);
+        shard = StatScalar{};
+    }
+    for (auto &shard : incompressibleShards_) {
+        incompressibleWrites.mergeFrom(shard);
+        shard = StatScalar{};
+    }
 }
 
 } // namespace ladder

@@ -10,6 +10,8 @@
 #ifndef LADDER_SCHEMES_SPLIT_RESET_HH
 #define LADDER_SCHEMES_SPLIT_RESET_HH
 
+#include <vector>
+
 #include "common/stats.hh"
 #include "ctrl/controller.hh"
 #include "ctrl/scheme.hh"
@@ -33,12 +35,17 @@ class SplitResetScheme : public WriteScheme
     std::string name() const override { return "Split-reset"; }
     WriteDecision decideWrite(MemoryController &ctrl, WriteEntry &entry,
                               const LineData &finalData) override;
+    void setChannelShards(unsigned channels) override;
+    void foldChannelShards() override;
 
     StatScalar compressibleWrites;
     StatScalar incompressibleWrites;
 
   private:
     const TimingModel &halfModel_;
+    /** Per-channel count shards (engine mode only; empty = legacy). */
+    std::vector<StatScalar> compressibleShards_;
+    std::vector<StatScalar> incompressibleShards_;
 };
 
 } // namespace ladder

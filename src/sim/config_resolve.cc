@@ -377,6 +377,25 @@ registerExperimentParams(Registry &reg)
     reg.addDouble("ctrl.transition-energy-pj",
                   LADDER_FIELD(system.controller.transitionEnergyPj),
                   "Energy per cell switched on writes", 0.0, 1e6);
+    reg.addInt<unsigned>(
+           "ctrl.channel-threads",
+           LADDER_FIELD(system.controller.channelThreads),
+           "Channel-engine workers (0 = legacy shared event queue; "
+           "any N >= 1 runs per-channel queues with barrier commit, "
+           "byte-identical across every N >= 1)",
+           0, 256)
+        .inManifest = false;
+    reg.addDouble("ctrl.lookahead",
+                  LADDER_FIELD(system.controller.lookaheadNs),
+                  "Channel-engine barrier window in ns (0 = auto: "
+                  "tRCD + tCL); fixed lookahead keeps results "
+                  "invariant across worker counts",
+                  0.0, 1e6)
+        .inManifest = false;
+    reg.addChoice("pool.pin", LADDER_FIELD(system.poolPin),
+                  "Channel-worker CPU affinity (host hint only)",
+                  {"off", "cores"})
+        .inManifest = false;
 
     // ---------------------------------------------------------------
     // Cache hierarchy
