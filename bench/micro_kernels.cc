@@ -8,13 +8,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
 #include "circuit/fastmodel.hh"
 #include "common/rng.hh"
+#include "ctrl/controller.hh"
 #include "ctrl/fnw.hh"
 #include "ctrl/metadata_cache.hh"
 #include "mem/backing_store.hh"
 #include "reram/latency_surface.hh"
 #include "reram/timing_tables.hh"
+#include "schemes/factory.hh"
 #include "schemes/fpc.hh"
 #include "schemes/partial_counter.hh"
 
@@ -237,6 +242,55 @@ BM_BackingStoreWrite(benchmark::State &state)
     }
 }
 BENCHMARK(BM_BackingStoreWrite);
+
+/**
+ * Full controller write path — enqueue through dispatch to
+ * completion — with the latency-attribution knob off (Arg 0) and on
+ * (Arg 1). The two timings bound what trace.attribution=1 costs per
+ * write; the Arg-0 run must match the pre-attribution controller,
+ * since the knob off leaves only an untaken branch on the dispatch
+ * path.
+ */
+void
+BM_ControllerWriteDispatch(benchmark::State &state)
+{
+    ControllerConfig cfg;
+    cfg.attribution = state.range(0) != 0;
+    MemoryGeometry geo;
+    BackingStore store(geo, true, 0.0);
+    const TimingModel &timing = cachedTimingModel(CrossbarParams{});
+    AddressMap map(geo);
+    auto layout = std::make_shared<MetadataLayout>(
+        geo, map.totalPages() * 3 / 4);
+    auto scheme = makeScheme(SchemeKind::LadderHybrid,
+                             CrossbarParams{}, layout, {});
+    EventQueue events;
+    MemoryController ctrl(events, cfg, geo, 0, store, timing,
+                          scheme);
+
+    // Channel-0 line addresses spread over wordlines and banks.
+    Rng rng(11);
+    std::vector<std::pair<Addr, LineData>> writes;
+    while (writes.size() < 16) {
+        Addr addr = rng.nextBounded(1 << 16) * lineBytes;
+        if (map.decode(addr).channel == 0)
+            writes.emplace_back(addr, randomLine(rng));
+    }
+
+    std::uint64_t dispatched = 0;
+    for (auto _ : state) {
+        for (const auto &write : writes)
+            ctrl.enqueueWrite(write.first, write.second);
+        events.runUntil();
+        dispatched += writes.size();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(dispatched));
+}
+BENCHMARK(BM_ControllerWriteDispatch)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
 
 } // namespace
 

@@ -18,8 +18,10 @@
  * parsed, 1 otherwise.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <utility>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -75,6 +77,48 @@ perChannelWriteRates(const Heartbeat &hb)
     return out.empty() ? "-" : out;
 }
 
+/**
+ * Live tail blame: the top-2 `ctrl.blame.*_ticks` counters by rate,
+ * rendered as shares of the total blame rate ("content 62%/queue
+ * 21%"). Present only for trace.attribution=1 runs; "-" otherwise.
+ */
+std::string
+tailBlame(const Heartbeat &hb)
+{
+    constexpr const char *prefix = "ctrl.blame.";
+    constexpr const char *suffix = "_ticks";
+    double total = 0.0;
+    std::vector<std::pair<double, std::string>> rates;
+    for (const auto &entry : hb.ratesPerSec) {
+        const std::string &name = entry.first;
+        if (name.rfind(prefix, 0) != 0 ||
+            name.size() <= 11 + 6 ||
+            name.compare(name.size() - 6, 6, suffix) != 0)
+            continue;
+        std::string component = name.substr(11, name.size() - 11 - 6);
+        rates.emplace_back(entry.second, std::move(component));
+        total += entry.second;
+    }
+    if (rates.empty() || total <= 0.0)
+        return "-";
+    std::sort(rates.begin(), rates.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first > b.first ||
+                         (a.first == b.first && a.second < b.second);
+              });
+    std::string out;
+    for (std::size_t i = 0; i < rates.size() && i < 2; ++i) {
+        if (!out.empty())
+            out += "/";
+        char item[48];
+        std::snprintf(item, sizeof(item), "%s %.0f%%",
+                      rates[i].second.c_str(),
+                      rates[i].first / total * 100.0);
+        out += item;
+    }
+    return out;
+}
+
 /** Per-channel write-queue depths as "3/0/12" (channel order). */
 std::string
 queueDepths(const Heartbeat &hb)
@@ -104,9 +148,9 @@ nowUnixMs()
 void
 printTable(std::vector<Source> &sources)
 {
-    std::printf("%-28s %6s %6s %9s %12s %10s %10s %-18s %s\n", "run",
-                "seq", "age", "cells", "tick", "writes/s", "reads/s",
-                "ch writes/s", "wq depth");
+    std::printf("%-28s %6s %6s %9s %12s %10s %10s %-18s %-10s %s\n",
+                "run", "seq", "age", "cells", "tick", "writes/s",
+                "reads/s", "ch writes/s", "wq depth", "tail blame");
     const std::uint64_t now = nowUnixMs();
     for (Source &src : sources) {
         if (!src.valid) {
@@ -126,13 +170,14 @@ printTable(std::vector<Source> &sources)
         char age[16];
         std::snprintf(age, sizeof(age), "%.1fs", ageSec);
         std::printf(
-            "%-28s %6llu %6s %9s %12llu %10.0f %10.0f %-18s %s\n",
+            "%-28s %6llu %6s %9s %12llu %10.0f %10.0f %-18s %-10s "
+            "%s\n",
             src.path.c_str(),
             static_cast<unsigned long long>(hb.seq), age, cells,
             static_cast<unsigned long long>(hb.simTick),
             channelRate(hb, ".writes"), channelRate(hb, ".reads"),
-            perChannelWriteRates(hb).c_str(),
-            queueDepths(hb).c_str());
+            perChannelWriteRates(hb).c_str(), queueDepths(hb).c_str(),
+            tailBlame(hb).c_str());
     }
 }
 

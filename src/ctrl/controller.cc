@@ -10,6 +10,15 @@
 namespace ladder
 {
 
+const char *const *
+blameComponentNames()
+{
+    static const char *const names[blameComponentCount] = {
+        "dep",  "queue", "bank",     "rcd",
+        "base", "location", "content", "scheme"};
+    return names;
+}
+
 MemoryController::MemoryController(EventQueue &events,
                                    const ControllerConfig &cfg,
                                    const MemoryGeometry &geo,
@@ -34,6 +43,14 @@ MemoryController::MemoryController(EventQueue &events,
     // overflow bucket rather than being lost.
     readLatencyHistNs.init(0.0, 2000.0, 50);
     writeServiceHistNs.init(0.0, 700.0, 35);
+    // Blame components: the wait-side ones (dep/queue/bank) share the
+    // read-latency envelope, the latency-side ones the tWR envelope.
+    for (unsigned i = 0; i < blameComponentCount; ++i) {
+        if (i < 3)
+            blameHistNs[i].init(0.0, 2000.0, 50);
+        else
+            blameHistNs[i].init(0.0, 700.0, 35);
+    }
     bankBusyUntil_.assign(
         static_cast<std::size_t>(geo_.ranksPerChannel) *
             geo_.banksPerRank * cfg_.subarraysPerBank,
@@ -54,6 +71,14 @@ MemoryController::MemoryController(EventQueue &events,
     mSchemeWrites_ = metrics::registerCounter(
         "ctrl.scheme." + scheme_->name() + ".writes");
     mSimTick_ = metrics::registerGauge(metrics::names::simTick);
+    if (cfg_.attribution) {
+        // Global (not per-channel) blame tick counters; their rates
+        // drive ladder_top's tail-blame line.
+        for (unsigned i = 0; i < blameComponentCount; ++i)
+            mBlame_[i] = metrics::registerCounter(
+                std::string("ctrl.blame.") + blameComponentNames()[i] +
+                "_ticks");
+    }
 }
 
 void
@@ -85,6 +110,18 @@ MemoryController::regStats(StatGroup &group)
                        "demand read latency distribution");
     group.regHistogram("write_service_hist_ns", &writeServiceHistNs,
                        "data write service time distribution");
+    if (cfg_.attribution) {
+        // Registered only when attribution is on so attribution-off
+        // stats.json stays byte-identical to pre-attribution output.
+        for (unsigned i = 0; i < blameComponentCount; ++i) {
+            const std::string name = blameComponentNames()[i];
+            group.regAverage("blame_" + name + "_ns", &blameAvgNs[i],
+                             "write blame: " + name + " component");
+            group.regHistogram("blame_" + name + "_hist_ns",
+                               &blameHistNs[i],
+                               "write blame distribution: " + name);
+        }
+    }
     group.regScalar("read_energy_pj", &readEnergyPj, "");
     group.regScalar("write_energy_pj", &writeEnergyPj, "");
     group.regScalar("data_write_energy_pj", &dataWriteEnergyPj, "");
@@ -268,6 +305,7 @@ MemoryController::enqueueWrite(Addr lineAddr, const LineData &data)
     entry.data = data;
     entry.loc = loc;
     entry.enqueueTick = curTick();
+    entry.readyTick = entry.enqueueTick;
     // Hook first: wear-leveling decorators may advance per-line state
     // that the encoding depends on.
     scheme_->onWriteEnqueued(*this, entry);
@@ -303,6 +341,7 @@ MemoryController::injectWrite(Addr lineAddr, const LineData &data)
     entry.data = data;
     entry.loc = loc;
     entry.enqueueTick = curTick();
+    entry.readyTick = entry.enqueueTick;
     // Hook first: wear-leveling decorators may advance per-line state
     // that the encoding depends on.
     scheme_->onWriteEnqueued(*this, entry);
@@ -408,6 +447,7 @@ MemoryController::enqueueMetadataWrite(Addr metaAddr)
     entry.addr = metaAddr;
     entry.loc = map_.decode(metaAddr);
     entry.enqueueTick = curTick();
+    entry.readyTick = entry.enqueueTick;
     entry.isMetadataWrite = true;
     metaWrites_.push_back(std::move(entry));
     requestSchedule();
@@ -597,6 +637,8 @@ MemoryController::completeRead(ReadEntry entry, Tick when)
                 ladder_assert(w->metaPending > 0,
                               "metadata fill underflow");
                 --w->metaPending;
+                if (cfg_.attribution && w->ready())
+                    w->readyTick = events_->now();
             }
         }
         pendingFills_.erase(it);
@@ -606,6 +648,8 @@ MemoryController::completeRead(ReadEntry entry, Tick when)
         if (WriteEntry *w = findWrite(entry.writeId)) {
             w->smbData = store_.read(entry.addr);
             w->smbReady = true;
+            if (cfg_.attribution && w->ready())
+                w->readyTick = events_->now();
         }
         break;
       }
@@ -657,6 +701,80 @@ MemoryController::metadataWriteLatencyNs(const BlockLocation &loc,
         locationTiming(loc.wordline, loc.worstBitline());
     powerMw = entry.powerMw;
     return entry.latencyNs;
+}
+
+WriteAttribution
+MemoryController::attributeDispatch(const WriteEntry &entry,
+                                    const WriteDecision &decision,
+                                    Tick prevBankBusy)
+{
+    const auto sgn = [](Tick t) {
+        return static_cast<std::int64_t>(t);
+    };
+    const Tick now = events_->now();
+    const WriteBlameHint hint =
+        scheme_->attributeWrite(*this, entry, decision);
+
+    // Wait-side components: enqueue -> ready (dependency stalls),
+    // ready -> dispatch split into bank-busy time and residual
+    // queueing. prevBankBusy <= now at dispatch (the bank was free),
+    // so the clamp only guards readiness after the bank went idle.
+    const std::int64_t dep =
+        sgn(entry.readyTick) - sgn(entry.enqueueTick);
+    const std::int64_t wait = sgn(now) - sgn(entry.readyTick);
+    const std::int64_t bank = std::clamp<std::int64_t>(
+        sgn(prevBankBusy) - sgn(entry.readyTick), 0, wait);
+
+    // Latency-side components: telescope the decided tWR through the
+    // scheme's blame anchors so the four parts sum to nsToTicks(tWR)
+    // exactly regardless of rounding.
+    const std::int64_t twr = sgn(nsToTicks(decision.latencyNs));
+    const std::int64_t base = sgn(nsToTicks(hint.baseNs));
+    const std::int64_t loc = sgn(nsToTicks(hint.locationNs));
+    const std::int64_t con = sgn(nsToTicks(hint.contentNs));
+
+    WriteAttribution a;
+    a.depTicks = static_cast<std::int32_t>(dep);
+    a.queueTicks = static_cast<std::int32_t>(wait - bank);
+    a.bankTicks = static_cast<std::int32_t>(bank);
+    a.rcdTicks = static_cast<std::int32_t>(tRcd_);
+    a.baseTicks = static_cast<std::int32_t>(base);
+    a.locationTicks = static_cast<std::int32_t>(loc - base);
+    a.contentTicks = static_cast<std::int32_t>(con - loc);
+    a.schemeTicks = static_cast<std::int32_t>(twr - con);
+
+    // The decomposition is exact by construction: everything
+    // telescopes to completion - enqueue. Guards against a scheme
+    // handing back anchors on a different timing scale.
+    const Tick busy = now + tRcd_ + nsToTicks(decision.latencyNs);
+    ladder_assert(
+        static_cast<std::int64_t>(a.depTicks) + a.queueTicks +
+                a.bankTicks + a.rcdTicks + a.baseTicks +
+                a.locationTicks + a.contentTicks + a.schemeTicks ==
+            sgn(busy) - sgn(entry.enqueueTick),
+        "blame components do not sum to the observed write latency "
+        "(scheme %s)",
+        scheme_->name().c_str());
+
+    const std::int32_t components[blameComponentCount] = {
+        a.depTicks,  a.queueTicks,    a.bankTicks,   a.rcdTicks,
+        a.baseTicks, a.locationTicks, a.contentTicks, a.schemeTicks};
+    for (unsigned i = 0; i < blameComponentCount; ++i) {
+        // Not ticksToNs: components are signed and must not wrap
+        // through the unsigned Tick conversion.
+        const double ns = static_cast<double>(components[i]) / 1000.0;
+        blameAvgNs[i].sample(ns);
+        blameHistNs[i].sample(ns);
+    }
+    if (metrics::enabled()) {
+        for (unsigned i = 0; i < blameComponentCount; ++i) {
+            if (components[i] > 0)
+                metrics::add(mBlame_[i],
+                             static_cast<std::uint64_t>(
+                                 components[i]));
+        }
+    }
+    return a;
 }
 
 bool
@@ -736,6 +854,11 @@ MemoryController::issueOneWrite()
                 decision.powerScale;
         }
 
+        WriteAttribution attr{};
+        if (cfg_.attribution)
+            attr = attributeDispatch(taken, decision,
+                                     bankBusyUntil_[bank]);
+
         if (traceSink_) {
             CtrlTraceRecord r;
             r.tick = events_->now();
@@ -748,6 +871,7 @@ MemoryController::issueOneWrite()
             r.latencyNs = static_cast<float>(decision.latencyNs);
             r.queueDepth =
                 static_cast<std::uint32_t>(writeQueue_.size());
+            r.attr = attr;
             traceSink_->record(r);
         }
 
@@ -839,6 +963,7 @@ MemoryController::injectPhysicalWrite(Addr physTo, const LineData &data)
     entry.data = data;
     entry.loc = loc;
     entry.enqueueTick = curTick();
+    entry.readyTick = entry.enqueueTick;
     entry.isRemapCopy = true;
     scheme_->onWriteEnqueued(*this, entry);
     entry.physData = scheme_->encodeData(physTo, data);

@@ -103,7 +103,24 @@ struct ControllerConfig
      * lookahead, not across lookaheads.
      */
     double lookaheadNs = 0.0;
+    /**
+     * Per-write causal latency attribution: decompose every data
+     * write's end-to-end latency into blame components (dependency /
+     * queue / bank / tRCD / base / location / content / scheme) that
+     * sum exactly to completion - enqueue in ticks. Off by default —
+     * the dispatch hot path then does no attribution work at all and
+     * every export stays byte-identical to pre-attribution builds.
+     * Components feed the trace sink (v3 records), the blame stat
+     * group, and the live blame-rate metrics.
+     */
+    bool attribution = false;
 };
+
+/** Number of blame components in the attribution decomposition. */
+inline constexpr unsigned blameComponentCount = 8;
+
+/** Canonical component names, in WriteAttribution field order. */
+const char *const *blameComponentNames();
 
 /**
  * Deferred cross-domain effects a channel accumulates while running a
@@ -266,6 +283,14 @@ class MemoryController
     StatHistogram readLatencyHistNs;
     /** Distribution of data-write service (tRCD + tWR) latency (ns). */
     StatHistogram writeServiceHistNs;
+    /**
+     * Per-component blame decomposition of data-write latency (ns),
+     * indexed by blameComponentNames() order. Registered into the
+     * stat group only when cfg.attribution is on, so attribution-off
+     * stats.json stays byte-identical.
+     */
+    StatAverage blameAvgNs[blameComponentCount];
+    StatHistogram blameHistNs[blameComponentCount];
     StatScalar readEnergyPj, writeEnergyPj;
     StatScalar dataWriteEnergyPj, metaWriteEnergyPj;
     StatScalar cellResets, cellSets;
@@ -340,6 +365,8 @@ class MemoryController
      *  constructor; every use is gated on metrics::enabled(). */
     std::uint32_t mWrites_, mReads_, mWqDepth_, mRqDepth_;
     std::uint32_t mResetTicks_, mSchemeWrites_, mSimTick_;
+    /** Blame tick counters (registered only with cfg.attribution). */
+    std::uint32_t mBlame_[blameComponentCount] = {};
 
     Tick tRcd_, tCl_, tBurst_;
 
@@ -364,6 +391,16 @@ class MemoryController
     void completeRead(ReadEntry entry, Tick when);
     void completeWrite(WriteEntry entry, double latencyNs,
                        double powerMw, Tick when);
+    /**
+     * Causal blame decomposition of one data-write dispatch (only
+     * called with cfg.attribution on). @p prevBankBusy is the bank's
+     * busy-until tick before this dispatch claims it. Samples the
+     * blame stats and metrics as a side effect and asserts the exact
+     * component-sum invariant.
+     */
+    WriteAttribution attributeDispatch(const WriteEntry &entry,
+                                       const WriteDecision &decision,
+                                       Tick prevBankBusy);
     void handleMetadataNeeds(WriteEntry &entry);
     void issueMetaFill(PendingMetaFill &fill);
     void retrySpills();

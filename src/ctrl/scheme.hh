@@ -34,6 +34,14 @@ struct WriteEntry
     LineData physData{};           //!< encoded payload (pre-FNW)
     BlockLocation loc{};
     Tick enqueueTick = 0;
+    /**
+     * Tick at which the last scheme-imposed dependency (metadata
+     * fill, SMB read, spill retry) resolved; equals enqueueTick for
+     * writes that were dispatchable immediately. Maintained only when
+     * latency attribution is enabled — the blame decomposition's
+     * "retry/spill stall" component is readyTick - enqueueTick.
+     */
+    Tick readyTick = 0;
     bool isMetadataWrite = false;
     bool isRemapCopy = false; //!< wear-leveling line copy
 
@@ -77,6 +85,33 @@ struct WriteDecision
     double powerScale = 1.0;
 };
 
+/**
+ * Causal anchor points a scheme reports for one dispatched write so
+ * the controller can decompose the chosen RESET latency into base /
+ * location / content / scheme-overhead blame components. All three
+ * are latencies in nanoseconds on the scheme's own timing model:
+ *
+ *   baseNs     — best-case tWR for this scheme (best location AND
+ *                best content), the irreducible floor;
+ *   locationNs — actual WL/BL region, best content: the increment
+ *                over baseNs is the location penalty;
+ *   contentNs  — actual location and actual content, before any
+ *                scheme-mechanic overhead: the increment over
+ *                locationNs is the content penalty, and whatever
+ *                remains up to the decided latency (e.g. SplitReset's
+ *                second half-RESET phase) is scheme overhead.
+ *
+ * Invariant expected by the controller: baseNs <= locationNs <=
+ * contentNs <= decision.latencyNs on the underlying tables (small
+ * rounding deviations are tolerated; components are signed).
+ */
+struct WriteBlameHint
+{
+    double baseNs = 0.0;
+    double locationNs = 0.0;
+    double contentNs = 0.0;
+};
+
 /** Per-write latency decision plus bookkeeping performed at dispatch. */
 class WriteScheme
 {
@@ -108,6 +143,25 @@ class WriteScheme
     virtual WriteDecision decideWrite(MemoryController &ctrl,
                                       WriteEntry &entry,
                                       const LineData &finalData) = 0;
+
+    /**
+     * Blame anchors for the write just decided by decideWrite; called
+     * only when latency attribution (trace.attribution=) is on, after
+     * decideWrite and before the entry leaves the queue. Must not
+     * mutate scheme state (decideWrite already updated shadow
+     * counters etc.). The default — every anchor at the decided
+     * latency — attributes the whole tWR to base cost, which is
+     * exact for content/location-oblivious schemes.
+     */
+    virtual WriteBlameHint
+    attributeWrite(const MemoryController &ctrl, const WriteEntry &entry,
+                   const WriteDecision &decision) const
+    {
+        (void)ctrl;
+        (void)entry;
+        return {decision.latencyNs, decision.latencyNs,
+                decision.latencyNs};
+    }
 
     /** Hook after the write has been persisted to the array. */
     virtual void

@@ -42,9 +42,12 @@ readU16(const char *buf)
         (static_cast<unsigned char>(buf[1]) << 8));
 }
 
-/** Decode one 24-byte record; false on an invalid kind byte. */
+/**
+ * Decode one record (24 base bytes, plus the 32-byte blame block when
+ * @p attribution is set); false on an invalid kind byte.
+ */
 bool
-decodeRecord(const char *buf, CtrlTraceRecord &out)
+decodeRecord(const char *buf, CtrlTraceRecord &out, bool attribution)
 {
     out.tick = readU64(buf);
     unsigned char kind = static_cast<unsigned char>(buf[8]);
@@ -59,6 +62,17 @@ decodeRecord(const char *buf, CtrlTraceRecord &out)
     static_assert(sizeof(latencyBits) == sizeof(out.latencyNs));
     std::memcpy(&out.latencyNs, &latencyBits, sizeof(out.latencyNs));
     out.queueDepth = readU32(buf + 20);
+    out.attr = WriteAttribution{};
+    if (attribution) {
+        std::int32_t *components[8] = {
+            &out.attr.depTicks,  &out.attr.queueTicks,
+            &out.attr.bankTicks, &out.attr.rcdTicks,
+            &out.attr.baseTicks, &out.attr.locationTicks,
+            &out.attr.contentTicks, &out.attr.schemeTicks};
+        for (int i = 0; i < 8; ++i)
+            *components[i] = static_cast<std::int32_t>(
+                readU32(buf + 24 + 4 * i));
+    }
     return true;
 }
 
@@ -132,6 +146,8 @@ TraceReader::parseHeader()
     chunksDecoded_ = 0;
     version_ = 0;
     format_ = TraceFormat::Csv;
+    attribution_ = false;
+    recordBytes_ = traceRecordBytes;
 
     if (fileSize_ == 0)
         return fail("empty trace file");
@@ -152,8 +168,12 @@ TraceReader::parseHeader()
             totalRecords_ = readU32(rest + 4);
             return parseV1();
         }
-        if (version_ == 2) {
+        if (version_ == traceBaseVersion ||
+            version_ == traceAttrVersion) {
             format_ = TraceFormat::BinaryV2;
+            attribution_ = version_ == traceAttrVersion;
+            recordBytes_ = attribution_ ? traceAttrRecordBytes
+                                        : traceRecordBytes;
             chunkCapacity_ = readU32(rest + 4);
             return parseV2();
         }
@@ -169,7 +189,11 @@ TraceReader::parseHeader()
         return fail("unrecognized trace: no CSV header row");
     const std::string expected(traceCsvHeader,
                                sizeof(traceCsvHeader) - 2); // no \n
-    if (line != expected)
+    const std::string expectedAttr(traceCsvHeaderAttr,
+                                   sizeof(traceCsvHeaderAttr) - 2);
+    if (line == expectedAttr)
+        attribution_ = true;
+    else if (line != expected)
         return fail("unrecognized trace: neither binary magic nor "
                     "the CSV header row");
     format_ = TraceFormat::Csv;
@@ -276,7 +300,7 @@ TraceReader::parseV2()
                 i));
         offset += traceChunkHeaderBytes +
                   static_cast<std::uint64_t>(chunk.records) *
-                      traceRecordBytes;
+                      recordBytes_;
         firstRecord += chunk.records;
         chunks_.push_back(chunk);
     }
@@ -312,7 +336,7 @@ TraceReader::loadChunk(std::size_t index)
             "corrupt v2 trace: chunk %zu CRC disagrees with the "
             "index", index));
     std::string payload(
-        static_cast<std::size_t>(entry.records) * traceRecordBytes,
+        static_cast<std::size_t>(entry.records) * recordBytes_,
         '\0');
     if (!readExact(payload.data(), payload.size(), "chunk payload"))
         return false;
@@ -326,8 +350,8 @@ TraceReader::loadChunk(std::size_t index)
         CtrlTraceRecord r;
         if (!decodeRecord(payload.data() +
                               static_cast<std::size_t>(i) *
-                                  traceRecordBytes,
-                          r))
+                                  recordBytes_,
+                          r, attribution_))
             return fail(strPrintf(
                 "corrupt v2 trace: invalid record kind in chunk %zu",
                 index));
@@ -365,7 +389,7 @@ TraceReader::peekChunkTicks(std::size_t index, std::uint64_t &first,
     is_->seekg(static_cast<std::streamoff>(
                    entry.offset + traceChunkHeaderBytes +
                    static_cast<std::uint64_t>(entry.records - 1) *
-                       traceRecordBytes),
+                       recordBytes_),
                std::ios::beg);
     if (!readExact(buf, sizeof(buf), "chunk last-tick peek"))
         return false;
@@ -387,7 +411,7 @@ TraceReader::next(CtrlTraceRecord &out)
         char buf[traceRecordBytes];
         if (!readExact(buf, sizeof(buf), "v1 record"))
             return false;
-        if (!decodeRecord(buf, out))
+        if (!decodeRecord(buf, out, /*attribution=*/false))
             return fail(strPrintf(
                 "corrupt v1 trace: invalid record kind at record "
                 "%llu",
@@ -435,12 +459,28 @@ TraceReader::nextCsv(CtrlTraceRecord &out)
     unsigned channel = 0, wordline = 0, bitline = 0, lrs = 0,
              queueDepth = 0;
     float latency = 0.0f;
+    WriteAttribution attr{};
     int consumed = 0;
-    int fields = std::sscanf(line.c_str(),
-                             "%c,%llu,%u,%u,%u,%u,%f,%u%n", &type,
-                             &tick, &channel, &wordline, &bitline,
-                             &lrs, &latency, &queueDepth, &consumed);
-    if (fields != 8 ||
+    int fields;
+    bool rowOk;
+    if (attribution_) {
+        fields = std::sscanf(
+            line.c_str(),
+            "%c,%llu,%u,%u,%u,%u,%f,%u,%d,%d,%d,%d,%d,%d,%d,%d%n",
+            &type, &tick, &channel, &wordline, &bitline, &lrs,
+            &latency, &queueDepth, &attr.depTicks, &attr.queueTicks,
+            &attr.bankTicks, &attr.rcdTicks, &attr.baseTicks,
+            &attr.locationTicks, &attr.contentTicks,
+            &attr.schemeTicks, &consumed);
+        rowOk = fields == 16;
+    } else {
+        fields = std::sscanf(line.c_str(), "%c,%llu,%u,%u,%u,%u,%f,%u%n",
+                             &type, &tick, &channel, &wordline,
+                             &bitline, &lrs, &latency, &queueDepth,
+                             &consumed);
+        rowOk = fields == 8;
+    }
+    if (!rowOk ||
         consumed != static_cast<int>(line.size()) ||
         (type != 'W' && type != 'R') || channel > 0xFF ||
         wordline > 0xFFFF || bitline > 0xFFFF || lrs > 0xFFFF)
@@ -457,6 +497,7 @@ TraceReader::nextCsv(CtrlTraceRecord &out)
     out.lrsCount = static_cast<std::uint16_t>(lrs);
     out.latencyNs = latency;
     out.queueDepth = queueDepth;
+    out.attr = attr;
     ++recordsRead_;
     return true;
 }

@@ -55,8 +55,14 @@ class TraceReader
 
     TraceFormat format() const { return format_; }
 
-    /** Binary container version (1 or 2; 0 for CSV). */
+    /** Binary container version (1, 2, or 3; 0 for CSV). */
     std::uint32_t version() const { return version_; }
+
+    /**
+     * Whether records carry the blame block (binary v3 or the
+     * attribution CSV header); attr fields read as zero otherwise.
+     */
+    bool attribution() const { return attribution_; }
 
     /**
      * Total record count when the container declares it (v1 header,
@@ -143,6 +149,9 @@ class TraceReader
     std::uint64_t recordsRead_ = 0;
     std::uint64_t fileSize_ = 0;
     std::uint32_t chunkCapacity_ = 0;
+    bool attribution_ = false;
+    /** Serialized record size for the detected binary version. */
+    std::size_t recordBytes_ = traceRecordBytes;
     std::vector<ChunkEntry> chunks_;
     // Decoded records of the currently loaded v2 chunk.
     std::vector<CtrlTraceRecord> chunkBuf_;

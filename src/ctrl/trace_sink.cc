@@ -61,9 +61,14 @@ appendU64(std::string &out, std::uint64_t v)
         out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
 }
 
-/** Append one record in the fixed 24-byte little-endian layout. */
+/**
+ * Append one record in the fixed little-endian layout: the 24 base
+ * bytes, plus the 32-byte blame block when @p attribution is set
+ * (signed components stored as two's-complement u32).
+ */
 void
-appendRecord(std::string &out, const CtrlTraceRecord &r)
+appendRecord(std::string &out, const CtrlTraceRecord &r,
+             bool attribution)
 {
     appendU64(out, r.tick);
     out.push_back(static_cast<char>(r.kind));
@@ -76,26 +81,45 @@ appendRecord(std::string &out, const CtrlTraceRecord &r)
     std::memcpy(&latencyBits, &r.latencyNs, sizeof(latencyBits));
     appendU32(out, latencyBits);
     appendU32(out, r.queueDepth);
+    if (attribution) {
+        const std::int32_t components[8] = {
+            r.attr.depTicks,  r.attr.queueTicks,
+            r.attr.bankTicks, r.attr.rcdTicks,
+            r.attr.baseTicks, r.attr.locationTicks,
+            r.attr.contentTicks, r.attr.schemeTicks};
+        for (std::int32_t c : components)
+            appendU32(out, static_cast<std::uint32_t>(c));
+    }
 }
 
 void
-appendCsvRow(std::string &out, const CtrlTraceRecord &r)
+appendCsvRow(std::string &out, const CtrlTraceRecord &r,
+             bool attribution)
 {
-    char buf[128];
-    std::snprintf(buf, sizeof(buf), "%c,%llu,%u,%u,%u,%u,%.3f,%u\n",
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%c,%llu,%u,%u,%u,%u,%.3f,%u",
                   r.kind == CtrlTraceRecord::Kind::Write ? 'W' : 'R',
                   static_cast<unsigned long long>(r.tick), r.channel,
                   r.wordline, r.bitline, r.lrsCount,
                   static_cast<double>(r.latencyNs), r.queueDepth);
     out += buf;
+    if (attribution) {
+        std::snprintf(buf, sizeof(buf), ",%d,%d,%d,%d,%d,%d,%d,%d",
+                      r.attr.depTicks, r.attr.queueTicks,
+                      r.attr.bankTicks, r.attr.rcdTicks,
+                      r.attr.baseTicks, r.attr.locationTicks,
+                      r.attr.contentTicks, r.attr.schemeTicks);
+        out += buf;
+    }
+    out += '\n';
 }
 
-/** v2 file header: magic, version, chunk capacity. */
+/** v2/v3 file header: magic, version, chunk capacity. */
 std::string
-serializeV2Header(std::size_t chunkRecords)
+serializeV2Header(std::size_t chunkRecords, bool attribution)
 {
     std::string out(traceFileMagic, sizeof(traceFileMagic));
-    appendU32(out, 2);
+    appendU32(out, attribution ? traceAttrVersion : traceBaseVersion);
     appendU32(out, static_cast<std::uint32_t>(chunkRecords));
     return out;
 }
@@ -107,15 +131,16 @@ struct ChunkIndexEntry
     std::uint32_t crc = 0;
 };
 
-/** One v2 chunk: magic, count, payload CRC-32, packed records. */
+/** One v2/v3 chunk: magic, count, payload CRC-32, packed records. */
 std::string
 serializeV2Chunk(const CtrlTraceRecord *records, std::size_t count,
-                 std::uint32_t *crcOut)
+                 std::uint32_t *crcOut, bool attribution)
 {
     std::string payload;
-    payload.reserve(count * traceRecordBytes);
+    payload.reserve(count * (attribution ? traceAttrRecordBytes
+                                         : traceRecordBytes));
     for (std::size_t i = 0; i < count; ++i)
-        appendRecord(payload, records[i]);
+        appendRecord(payload, records[i], attribution);
     std::uint32_t crc = crc32(payload.data(), payload.size());
     if (crcOut)
         *crcOut = crc;
@@ -195,8 +220,10 @@ WriteTraceSink::WriteTraceSink() = default;
 
 WriteTraceSink::WriteTraceSink(const std::string &path,
                                TraceFormat format,
-                               const TraceStreamOptions &options)
-    : path_(path), format_(format), options_(options)
+                               const TraceStreamOptions &options,
+                               bool attribution)
+    : path_(path), format_(format), options_(options),
+      attribution_(attribution)
 {
     ladder_assert(format_ != TraceFormat::BinaryV1,
                   "streaming trace requires 'csv' or 'bin2' (the v1 "
@@ -225,15 +252,18 @@ WriteTraceSink::startStream()
     stream->os.open(path_, std::ios::binary | std::ios::trunc);
     ladder_assert(stream->os.good(), "cannot open trace file %s",
                   path_.c_str());
-    std::string header = format_ == TraceFormat::BinaryV2
-                             ? serializeV2Header(options_.chunkRecords)
-                             : std::string(traceCsvHeader);
+    std::string header =
+        format_ == TraceFormat::BinaryV2
+            ? serializeV2Header(options_.chunkRecords, attribution_)
+            : std::string(attribution_ ? traceCsvHeaderAttr
+                                       : traceCsvHeader);
     stream->os.write(header.data(),
                      static_cast<std::streamsize>(header.size()));
     stream->offset = header.size();
     Stream *raw = stream.get();
     TraceFormat format = format_;
-    stream->writer = std::thread([raw, format]() {
+    bool attribution = attribution_;
+    stream->writer = std::thread([raw, format, attribution]() {
 #if defined(__linux__)
         pthread_setname_np(pthread_self(), "ladder-trace");
 #endif
@@ -249,12 +279,13 @@ WriteTraceSink::startStream()
                     entry.offset = raw->offset;
                     entry.records =
                         static_cast<std::uint32_t>(chunk->size());
-                    bytes = serializeV2Chunk(
-                        chunk->data(), chunk->size(), &entry.crc);
+                    bytes = serializeV2Chunk(chunk->data(),
+                                             chunk->size(), &entry.crc,
+                                             attribution);
                     raw->index.push_back(entry);
                 } else {
                     for (const CtrlTraceRecord &r : *chunk)
-                        appendCsvRow(bytes, r);
+                        appendCsvRow(bytes, r, attribution);
                 }
                 raw->os.write(
                     bytes.data(),
@@ -375,15 +406,27 @@ WriteTraceSink::records() const
 }
 
 void
+WriteTraceSink::setAttribution(bool attribution)
+{
+    ladder_assert(!stream_,
+                  "setAttribution() is buffered-mode only (streaming "
+                  "sinks fix the format at construction)");
+    attribution_ = attribution;
+}
+
+void
 WriteTraceSink::writeCsv(std::ostream &os) const
 {
     ladder_assert(!stream_, "writeCsv() is buffered-mode only");
     PROF_SCOPE("trace_flush");
-    os.write(traceCsvHeader, sizeof(traceCsvHeader) - 1);
+    if (attribution_)
+        os.write(traceCsvHeaderAttr, sizeof(traceCsvHeaderAttr) - 1);
+    else
+        os.write(traceCsvHeader, sizeof(traceCsvHeader) - 1);
     std::string row;
     for (const CtrlTraceRecord &r : records_) {
         row.clear();
-        appendCsvRow(row, r);
+        appendCsvRow(row, r, attribution_);
         os.write(row.data(), static_cast<std::streamsize>(row.size()));
     }
 }
@@ -392,12 +435,15 @@ void
 WriteTraceSink::writeBinary(std::ostream &os) const
 {
     ladder_assert(!stream_, "writeBinary() is buffered-mode only");
+    ladder_assert(!attribution_,
+                  "the v1 binary has no attribution block; use csv "
+                  "or bin2 with trace.attribution");
     PROF_SCOPE("trace_flush");
     std::string out(traceFileMagic, sizeof(traceFileMagic));
     appendU32(out, 1);
     appendU32(out, static_cast<std::uint32_t>(records_.size()));
     for (const CtrlTraceRecord &r : records_)
-        appendRecord(out, r);
+        appendRecord(out, r, /*attribution=*/false);
     os.write(out.data(), static_cast<std::streamsize>(out.size()));
 }
 
@@ -408,7 +454,7 @@ WriteTraceSink::writeBinaryV2(std::ostream &os,
     ladder_assert(!stream_, "writeBinaryV2() is buffered-mode only");
     PROF_SCOPE("trace_flush");
     ladder_assert(chunkRecords > 0, "writeBinaryV2: zero chunk size");
-    std::string header = serializeV2Header(chunkRecords);
+    std::string header = serializeV2Header(chunkRecords, attribution_);
     os.write(header.data(),
              static_cast<std::streamsize>(header.size()));
     std::uint64_t offset = header.size();
@@ -421,7 +467,8 @@ WriteTraceSink::writeBinaryV2(std::ostream &os,
         entry.offset = offset;
         entry.records = static_cast<std::uint32_t>(count);
         std::string chunk = serializeV2Chunk(records_.data() + start,
-                                             count, &entry.crc);
+                                             count, &entry.crc,
+                                             attribution_);
         os.write(chunk.data(),
                  static_cast<std::streamsize>(chunk.size()));
         offset += chunk.size();

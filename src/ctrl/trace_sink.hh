@@ -49,6 +49,25 @@
 namespace ladder
 {
 
+/**
+ * Causal blame decomposition of one write's end-to-end latency,
+ * carried per record when attribution is on (v3 binary / attribution
+ * CSV). Every field is a signed tick (picosecond) count; the
+ * controller guarantees the eight components sum exactly to
+ * completionTick - enqueueTick of the write. Reads carry all zeros.
+ */
+struct WriteAttribution
+{
+    std::int32_t depTicks = 0;      //!< retry/spill/dependency stall
+    std::int32_t queueTicks = 0;    //!< ready but queued, bank free
+    std::int32_t bankTicks = 0;     //!< ready but bank busy
+    std::int32_t rcdTicks = 0;      //!< activation (tRCD)
+    std::int32_t baseTicks = 0;     //!< scheme best-case tWR floor
+    std::int32_t locationTicks = 0; //!< WL/BL region penalty
+    std::int32_t contentTicks = 0;  //!< LRS-count penalty
+    std::int32_t schemeTicks = 0;   //!< scheme mechanics (phases etc.)
+};
+
 /** One traced controller event (fixed 24-byte wire format). */
 struct CtrlTraceRecord
 {
@@ -62,10 +81,18 @@ struct CtrlTraceRecord
     std::uint16_t lrsCount = 0;  //!< wordline LRS ('1') count (writes)
     float latencyNs = 0.0f;      //!< chosen tWR (write) / total (read)
     std::uint32_t queueDepth = 0; //!< same-class queue depth at event
+    WriteAttribution attr{};     //!< serialized in v3 / attr CSV only
 };
 
-/** Serialized size of one record in every binary trace version. */
+/** Serialized size of one record in v1/v2 binary traces. */
 inline constexpr std::size_t traceRecordBytes = 24;
+
+/**
+ * Serialized record size in the v3 (attribution) binary: the 24 base
+ * bytes followed by the eight blame components as little-endian
+ * signed 32-bit tick counts, in WriteAttribution declaration order.
+ */
+inline constexpr std::size_t traceAttrRecordBytes = 56;
 
 /** On-disk trace encodings ("csv", "bin", "bin2" on command lines). */
 enum class TraceFormat { Csv, BinaryV1, BinaryV2 };
@@ -105,7 +132,8 @@ class WriteTraceSink
      * final partial chunk and the v2 footer.
      */
     WriteTraceSink(const std::string &path, TraceFormat format,
-                   const TraceStreamOptions &options = {});
+                   const TraceStreamOptions &options = {},
+                   bool attribution = false);
 
     ~WriteTraceSink();
 
@@ -125,6 +153,17 @@ class WriteTraceSink
     void clear();
 
     bool streaming() const { return stream_ != nullptr; }
+
+    /**
+     * Whether serializations carry the per-record blame block (CSV
+     * attribution columns / binary v3). Streaming sinks fix this at
+     * construction (the header is written up front); buffered sinks
+     * may toggle it any time before serialization.
+     */
+    bool attribution() const { return attribution_; }
+
+    /** Buffered mode only: select attribution serialization. */
+    void setAttribution(bool attribution);
 
     /** Streaming output path (empty in buffered mode). */
     const std::string &path() const { return path_; }
@@ -179,6 +218,7 @@ class WriteTraceSink
     std::string path_;          //!< streaming only
     TraceFormat format_ = TraceFormat::Csv;
     TraceStreamOptions options_{};
+    bool attribution_ = false;
     std::unique_ptr<Stream> stream_; //!< non-null in streaming mode
 
     std::vector<CtrlTraceRecord> records_; //!< buffer / fill chunk

@@ -10,6 +10,7 @@
 #define LADDER_CTRL_TRACE_WIRE_HH
 
 #include <cstddef>
+#include <cstdint>
 
 namespace ladder
 {
@@ -25,6 +26,26 @@ inline constexpr char traceEndMagic[8] = {'L', 'A', 'D', 'D',
 inline constexpr char traceCsvHeader[] =
     "type,tick,channel,wordline,bitline,lrs_count,latency_ns,"
     "queue_depth\n";
+
+/**
+ * CSV header row of attribution-enabled traces: the base columns
+ * plus the eight blame components, each in integer ticks
+ * (picoseconds). Reads carry zeros in every blame column.
+ */
+inline constexpr char traceCsvHeaderAttr[] =
+    "type,tick,channel,wordline,bitline,lrs_count,latency_ns,"
+    "queue_depth,dep_ticks,queue_ticks,bank_ticks,rcd_ticks,"
+    "base_ticks,location_ticks,content_ticks,scheme_ticks\n";
+
+/** Binary version of base (24-byte record) chunked traces. */
+inline constexpr std::uint32_t traceBaseVersion = 2;
+
+/**
+ * Binary version of attribution-enabled traces: identical container
+ * framing (chunks, CRCs, footer index, trailer) but every record
+ * carries an extra 32-byte blame block — see trace_sink.hh.
+ */
+inline constexpr std::uint32_t traceAttrVersion = 3;
 
 /** v1/v2 file header size: magic + u32 version + u32 count/capacity. */
 inline constexpr std::size_t traceFileHeaderBytes = 16;

@@ -46,6 +46,20 @@ LadderBasicScheme::decideWrite(MemoryController &ctrl, WriteEntry &entry,
     return {t.latencyNs, t.powerMw};
 }
 
+WriteBlameHint
+LadderBasicScheme::attributeWrite(const MemoryController &ctrl,
+                                  const WriteEntry &entry,
+                                  const WriteDecision &decision) const
+{
+    // Content penalty isolated by re-reading the same (WL, BL) cell
+    // at zero LRS; the counters are exact, so there is no estimation
+    // slack to account for.
+    const TimingEntry &bestContent = ctrl.ladderTiming(
+        entry.loc.wordline, entry.loc.worstBitline(), 0);
+    return {ctrl.timing().ladder.bestLatencyNs(),
+            bestContent.latencyNs, decision.latencyNs};
+}
+
 void
 LadderBasicScheme::onWriteComplete(MemoryController &ctrl,
                                    WriteEntry &entry)
@@ -187,6 +201,22 @@ LadderEstScheme::decideWrite(MemoryController &ctrl, WriteEntry &entry,
                   "Est write without metadata line");
     ctrl.metadataCache().markDirty(entry.metaAddrs[0]);
     return {t.latencyNs, t.powerMw};
+}
+
+WriteBlameHint
+LadderEstScheme::attributeWrite(const MemoryController &ctrl,
+                                const WriteEntry &entry,
+                                const WriteDecision &decision) const
+{
+    // decideWrite already advanced the shadow counters, so the
+    // estimated C_w cannot be replayed here; anchoring contentNs at
+    // the decided latency folds estimation conservatism into the
+    // content penalty (see the header comment). Inherited unchanged
+    // by LADDER-Hybrid.
+    const TimingEntry &bestContent = ctrl.ladderTiming(
+        entry.loc.wordline, entry.loc.worstBitline(), 0);
+    return {ctrl.timing().ladder.bestLatencyNs(),
+            bestContent.latencyNs, decision.latencyNs};
 }
 
 void

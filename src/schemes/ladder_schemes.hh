@@ -43,6 +43,9 @@ class LadderBasicScheme : public WriteScheme
                               const LineData &finalData) override;
     void onWriteComplete(MemoryController &ctrl,
                          WriteEntry &entry) override;
+    WriteBlameHint attributeWrite(
+        const MemoryController &ctrl, const WriteEntry &entry,
+        const WriteDecision &decision) const override;
     bool constrainedFnw() const override { return true; }
     void setChannelShards(unsigned channels) override;
     void foldChannelShards() override;
@@ -75,6 +78,17 @@ class LadderEstScheme : public WriteScheme
                               const LineData &finalData) override;
     LineData encodeData(Addr addr, const LineData &data) const override;
     LineData decodeData(Addr addr, const LineData &data) const override;
+    /**
+     * Shared by LADDER-Est and LADDER-Hybrid (both dispatch through
+     * the ladder model at the entry's location). contentNs is the
+     * decided latency itself, so estimation conservatism — the
+     * partial counters rounding C_w up — lands in the content
+     * penalty, which is exactly where the estimated-vs-oracle
+     * latency gap belongs.
+     */
+    WriteBlameHint attributeWrite(
+        const MemoryController &ctrl, const WriteEntry &entry,
+        const WriteDecision &decision) const override;
     bool constrainedFnw() const override { return true; }
     void setChannelShards(unsigned channels) override;
     void foldChannelShards() override;

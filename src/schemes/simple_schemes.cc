@@ -26,6 +26,18 @@ LocationScheme::decideWrite(MemoryController &ctrl, WriteEntry &entry,
     return {t.latencyNs, t.powerMw};
 }
 
+WriteBlameHint
+LocationScheme::attributeWrite(const MemoryController &ctrl,
+                               const WriteEntry &entry,
+                               const WriteDecision &decision) const
+{
+    (void)entry;
+    // Content-oblivious: the whole increment over the table's best
+    // corner is location blame; content and scheme overhead are zero.
+    return {ctrl.timing().location.bestLatencyNs(),
+            decision.latencyNs, decision.latencyNs};
+}
+
 WriteDecision
 OracleScheme::decideWrite(MemoryController &ctrl, WriteEntry &entry,
                           const LineData &finalData)
@@ -37,6 +49,19 @@ OracleScheme::decideWrite(MemoryController &ctrl, WriteEntry &entry,
     return {t.latencyNs, t.powerMw};
 }
 
+WriteBlameHint
+OracleScheme::attributeWrite(const MemoryController &ctrl,
+                             const WriteEntry &entry,
+                             const WriteDecision &decision) const
+{
+    // Same (WL, BL) cell at zero LRS isolates the content penalty —
+    // one extra surface/table lookup, only on the attribution path.
+    const TimingEntry &bestContent = ctrl.ladderTiming(
+        entry.loc.wordline, entry.loc.worstBitline(), 0);
+    return {ctrl.timing().ladder.bestLatencyNs(),
+            bestContent.latencyNs, decision.latencyNs};
+}
+
 WriteDecision
 BlpScheme::decideWrite(MemoryController &ctrl, WriteEntry &entry,
                        const LineData &finalData)
@@ -46,6 +71,17 @@ BlpScheme::decideWrite(MemoryController &ctrl, WriteEntry &entry,
         entry.loc.wordline, entry.loc.worstBitline(),
         entry.dispatchCbl);
     return {t.latencyNs, t.powerMw};
+}
+
+WriteBlameHint
+BlpScheme::attributeWrite(const MemoryController &ctrl,
+                          const WriteEntry &entry,
+                          const WriteDecision &decision) const
+{
+    const TimingEntry &bestContent = ctrl.blpTiming(
+        entry.loc.wordline, entry.loc.worstBitline(), 0);
+    return {ctrl.timing().blp.bestLatencyNs(),
+            bestContent.latencyNs, decision.latencyNs};
 }
 
 } // namespace ladder

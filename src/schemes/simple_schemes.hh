@@ -31,6 +31,9 @@ class LocationScheme : public WriteScheme
     std::string name() const override { return "location"; }
     WriteDecision decideWrite(MemoryController &ctrl, WriteEntry &entry,
                               const LineData &finalData) override;
+    WriteBlameHint attributeWrite(
+        const MemoryController &ctrl, const WriteEntry &entry,
+        const WriteDecision &decision) const override;
 };
 
 /**
@@ -43,6 +46,9 @@ class OracleScheme : public WriteScheme
     std::string name() const override { return "oracle"; }
     WriteDecision decideWrite(MemoryController &ctrl, WriteEntry &entry,
                               const LineData &finalData) override;
+    WriteBlameHint attributeWrite(
+        const MemoryController &ctrl, const WriteEntry &entry,
+        const WriteDecision &decision) const override;
 };
 
 /**
@@ -55,6 +61,9 @@ class BlpScheme : public WriteScheme
     std::string name() const override { return "BLP"; }
     WriteDecision decideWrite(MemoryController &ctrl, WriteEntry &entry,
                               const LineData &finalData) override;
+    WriteBlameHint attributeWrite(
+        const MemoryController &ctrl, const WriteEntry &entry,
+        const WriteDecision &decision) const override;
 };
 
 } // namespace ladder

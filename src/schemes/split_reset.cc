@@ -79,6 +79,27 @@ SplitResetScheme::decideWrite(MemoryController &ctrl, WriteEntry &entry,
     return {phase.latencyNs * phases, phase.powerMw, 0.6};
 }
 
+WriteBlameHint
+SplitResetScheme::attributeWrite(const MemoryController &ctrl,
+                                 const WriteEntry &entry,
+                                 const WriteDecision &decision) const
+{
+    // Re-derive the single-phase latency exactly as decideWrite did;
+    // the remainder of the decided latency (the second phase, when
+    // the line is incompressible) is scheme overhead.
+    const TimingEntry &phase =
+        ctrl.surfaceEnabled() && halfModel_.locationSurface
+            ? halfModel_.locationSurface->lookup(
+                  entry.loc.wordline, entry.loc.worstBitline(), 0)
+            : halfModel_.location.lookup(
+                  entry.loc.wordline, entry.loc.worstBitline(), 0);
+    double singlePhaseNs =
+        phase.latencyNs < decision.latencyNs ? phase.latencyNs
+                                             : decision.latencyNs;
+    return {halfModel_.location.bestLatencyNs(), singlePhaseNs,
+            singlePhaseNs};
+}
+
 void
 SplitResetScheme::setChannelShards(unsigned channels)
 {

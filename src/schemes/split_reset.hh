@@ -35,6 +35,15 @@ class SplitResetScheme : public WriteScheme
     std::string name() const override { return "Split-reset"; }
     WriteDecision decideWrite(MemoryController &ctrl, WriteEntry &entry,
                               const LineData &finalData) override;
+    /**
+     * The second half-RESET phase of an incompressible line is pure
+     * scheme overhead: location blame covers one phase at the actual
+     * (WL, BL), content blame is zero (phases depend on the written
+     * data's compressibility, not the array's LRS state).
+     */
+    WriteBlameHint attributeWrite(
+        const MemoryController &ctrl, const WriteEntry &entry,
+        const WriteDecision &decision) const override;
     void setChannelShards(unsigned channels) override;
     void foldChannelShards() override;
 

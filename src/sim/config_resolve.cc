@@ -174,6 +174,13 @@ registerExperimentParams(Registry &reg)
     reg.addBool("trace-stream", LADDER_FIELD(traceStream),
                 "Stream traces to disk during the run in bounded "
                 "memory (csv/bin2 only)");
+    reg.addBool("trace.attribution",
+                LADDER_FIELD(system.controller.attribution),
+                "Per-write causal blame decomposition: v3 trace "
+                "records, blame stats/histograms, and live blame-rate "
+                "counters (csv/bin2 traces only; off = byte-identical "
+                "legacy outputs)")
+        .inManifest = false;
     reg.addInt<std::uint64_t>(
         "trace-chunk", LADDER_FIELD(traceChunkRecords),
         "Records per streamed/bin2 trace chunk", 1,

@@ -8,6 +8,7 @@
 
 #include "common/json.hh"
 #include "common/log.hh"
+#include "ctrl/controller.hh"
 #include "ctrl/trace_reader.hh"
 #include "sim/stats_export.hh"
 
@@ -99,10 +100,87 @@ writeHostEvents(JsonWriter &json,
     }
 }
 
+/** Blame sub-slice tracks sit after the channel occupancy tracks. */
+constexpr std::uint64_t blameTidBase = 256;
+
+/**
+ * Attributed write: per-component sub-slices on a dedicated blame
+ * track plus a flow (ph s/t/f) linking enqueue -> dispatch ->
+ * completion, so Perfetto draws the causal chain across tracks.
+ * Returns the number of trace events emitted (counted against the
+ * sim-event budget like the occupancy spans).
+ */
+std::uint64_t
+writeBlameSlices(JsonWriter &json, const CtrlTraceRecord &rec,
+                 int pid, std::uint64_t flowId)
+{
+    const std::int64_t components[blameComponentCount] = {
+        rec.attr.depTicks,     rec.attr.queueTicks,
+        rec.attr.bankTicks,    rec.attr.rcdTicks,
+        rec.attr.baseTicks,    rec.attr.locationTicks,
+        rec.attr.contentTicks, rec.attr.schemeTicks};
+    // Wait components precede the dispatch tick; the service side
+    // (rcd onwards) starts at it. Sum of all eight spans
+    // enqueue..completion exactly (the controller's invariant).
+    std::int64_t waitTicks = 0;
+    for (unsigned i = 0; i < 3; ++i)
+        waitTicks += components[i];
+    const std::uint64_t blameTid = blameTidBase + rec.channel;
+    std::uint64_t emitted = 0;
+    double cursorUs =
+        usFromTicks(rec.tick) - usFromTicks(static_cast<std::uint64_t>(
+                                    waitTicks > 0 ? waitTicks : 0));
+    const double enqueueUs = cursorUs;
+    for (unsigned i = 0; i < blameComponentCount; ++i) {
+        // Signed components keep the cursor honest; only positive
+        // ones are drawable slices.
+        if (components[i] > 0) {
+            json.beginObject();
+            json.field("ph", "X");
+            json.field("name", blameComponentNames()[i]);
+            json.field("cat", "blame");
+            json.field("pid", pid);
+            json.field("tid", blameTid);
+            json.field("ts", cursorUs);
+            json.field("dur",
+                       usFromTicks(static_cast<std::uint64_t>(
+                           components[i])));
+            json.endObject();
+            ++emitted;
+        }
+        cursorUs += static_cast<double>(components[i]) / 1e6;
+    }
+    const double completionUs = cursorUs;
+    // Flow arrows: start at enqueue on the blame track, step at
+    // dispatch on the channel occupancy track, end at completion.
+    const char *phases[3] = {"s", "t", "f"};
+    const double ts[3] = {enqueueUs, usFromTicks(rec.tick),
+                          completionUs};
+    const std::uint64_t tids[3] = {blameTid, rec.channel, blameTid};
+    for (unsigned i = 0; i < 3; ++i) {
+        json.beginObject();
+        json.field("ph", phases[i]);
+        json.field("id", flowId);
+        json.field("name", "write path");
+        json.field("cat", "blame");
+        json.field("pid", pid);
+        json.field("tid", tids[i]);
+        json.field("ts", ts[i]);
+        if (phases[i][0] == 'f')
+            json.field("bp", "e");
+        json.endObject();
+        ++emitted;
+    }
+    return emitted;
+}
+
 /**
  * One run cell's recorded trace as a sim-time process: a track per
  * channel, writes occupying their dispatch..dispatch+tWR window and
- * reads their (completion-latency)..completion window.
+ * reads their (completion-latency)..completion window. Attribution
+ * traces (v3 / attr CSV) additionally get per-channel blame tracks
+ * with per-component sub-slices and enqueue->dispatch->completion
+ * flows (see writeBlameSlices).
  */
 std::uint64_t
 writeSimCell(JsonWriter &json, const ExperimentConfig &config,
@@ -119,8 +197,10 @@ writeSimCell(JsonWriter &json, const ExperimentConfig &config,
     }
     metadataEvent(json, "process_name", pid, 0, "sim time: " + run);
     std::vector<bool> channelNamed;
+    std::vector<bool> blameNamed;
     CtrlTraceRecord rec;
     std::uint64_t emitted = 0;
+    std::uint64_t flowId = 0;
     while (emitted < budget && reader.next(rec)) {
         const std::size_t channel = rec.channel;
         if (channel >= channelNamed.size())
@@ -170,6 +250,19 @@ writeSimCell(JsonWriter &json, const ExperimentConfig &config,
         json.endObject();
         json.endObject();
         ++emitted;
+        if (reader.attribution() && isWrite) {
+            if (channel >= blameNamed.size())
+                blameNamed.resize(channel + 1, false);
+            if (!blameNamed[channel]) {
+                metadataEvent(json, "thread_name", pid,
+                              blameTidBase + channel,
+                              "channel " + std::to_string(channel) +
+                                  " blame");
+                blameNamed[channel] = true;
+            }
+            emitted +=
+                writeBlameSlices(json, rec, pid, flowId++);
+        }
     }
     if (!reader.ok()) {
         warn("profile: sim track for %s truncated: %s", run.c_str(),

@@ -8,6 +8,7 @@
 
 #include "circuit/fastmodel.hh"
 #include "common/log.hh"
+#include "common/metrics.hh"
 #include "common/profiler.hh"
 #include "reram/latency_surface.hh"
 #include "schemes/ladder_schemes.hh"
@@ -271,8 +272,15 @@ System::setRemapper(AddressRemapper *remapper)
 void
 System::disableChannelEngine(const char *reason)
 {
-    warn("channel engine disabled: %s; running on the shared queue",
-         reason);
+    // Observable fallback: monitors watching the heartbeat see the
+    // gauge flip to 1 even when stderr is discarded, and warn_once
+    // keeps parallel sweeps from repeating the message per cell.
+    warn_once("channel engine disabled: %s; running on the shared "
+              "queue",
+              reason);
+    static const metrics::MetricId fallbackGauge =
+        metrics::registerGauge("engine.fallback");
+    metrics::set(fallbackGauge, 1);
     for (auto &queue : channelQueues_)
         ladder_assert(queue->empty(),
                       "disabling the channel engine mid-run");

@@ -57,6 +57,31 @@ randomRecords(std::size_t count, std::uint64_t seed)
     return records;
 }
 
+/**
+ * Records with populated blame blocks, including negative components
+ * to prove the signed two's-complement wire coding survives.
+ */
+std::vector<CtrlTraceRecord>
+randomAttrRecords(std::size_t count, std::uint64_t seed)
+{
+    auto records = randomRecords(count, seed);
+    Rng rng(seed ^ 0xA77A);
+    for (auto &r : records) {
+        if (r.kind != CtrlTraceRecord::Kind::Write)
+            continue;
+        std::int32_t *fields[] = {
+            &r.attr.depTicks,     &r.attr.queueTicks,
+            &r.attr.bankTicks,    &r.attr.rcdTicks,
+            &r.attr.baseTicks,    &r.attr.locationTicks,
+            &r.attr.contentTicks, &r.attr.schemeTicks};
+        for (std::int32_t *f : fields)
+            *f = static_cast<std::int32_t>(
+                     rng.nextBounded(2'000'000)) -
+                 1'000'000;
+    }
+    return records;
+}
+
 void
 expectSameRecord(const CtrlTraceRecord &a, const CtrlTraceRecord &b,
                  std::size_t i)
@@ -68,6 +93,20 @@ expectSameRecord(const CtrlTraceRecord &a, const CtrlTraceRecord &b,
     EXPECT_EQ(a.bitline, b.bitline) << "record " << i;
     EXPECT_EQ(a.lrsCount, b.lrsCount) << "record " << i;
     EXPECT_EQ(a.queueDepth, b.queueDepth) << "record " << i;
+}
+
+void
+expectSameAttr(const WriteAttribution &a, const WriteAttribution &b,
+               std::size_t i)
+{
+    EXPECT_EQ(a.depTicks, b.depTicks) << "record " << i;
+    EXPECT_EQ(a.queueTicks, b.queueTicks) << "record " << i;
+    EXPECT_EQ(a.bankTicks, b.bankTicks) << "record " << i;
+    EXPECT_EQ(a.rcdTicks, b.rcdTicks) << "record " << i;
+    EXPECT_EQ(a.baseTicks, b.baseTicks) << "record " << i;
+    EXPECT_EQ(a.locationTicks, b.locationTicks) << "record " << i;
+    EXPECT_EQ(a.contentTicks, b.contentTicks) << "record " << i;
+    EXPECT_EQ(a.schemeTicks, b.schemeTicks) << "record " << i;
 }
 
 /** Drain @p reader and compare against @p expected exactly. */
@@ -104,6 +143,31 @@ serializeV1(const std::vector<CtrlTraceRecord> &records)
         sink.record(r);
     std::ostringstream os;
     sink.writeBinary(os);
+    return os.str();
+}
+
+std::string
+serializeV3(const std::vector<CtrlTraceRecord> &records,
+            std::size_t chunkRecords)
+{
+    WriteTraceSink sink;
+    sink.setAttribution(true);
+    for (const auto &r : records)
+        sink.record(r);
+    std::ostringstream os;
+    sink.writeBinaryV2(os, chunkRecords);
+    return os.str();
+}
+
+std::string
+serializeCsvAttr(const std::vector<CtrlTraceRecord> &records)
+{
+    WriteTraceSink sink;
+    sink.setAttribution(true);
+    for (const auto &r : records)
+        sink.record(r);
+    std::ostringstream os;
+    sink.writeCsv(os);
     return os.str();
 }
 
@@ -298,7 +362,7 @@ TEST(TraceReader, BadMagicAndVersionError)
     EXPECT_FALSE(reader.ok());
 
     std::string badVersion = v2;
-    badVersion[8] = 3; // version 3 does not exist
+    badVersion[8] = 99; // version 99 does not exist (3 = attribution)
     TraceReader r2;
     EXPECT_FALSE(r2.openBuffer(badVersion));
     EXPECT_NE(r2.error().find("version"), std::string::npos)
@@ -542,6 +606,183 @@ TEST(TraceWindow, SkipsChunksOutsideTheTickWindow)
         ++delivered;
     EXPECT_EQ(delivered, 32u);
     EXPECT_EQ(reader.chunksDecoded(), 4u);
+}
+
+TEST(TraceAttr, V3AndCsvRoundTripTheBlameBlock)
+{
+    auto records = randomAttrRecords(131, 0xAA01);
+    {
+        TraceReader reader;
+        ASSERT_TRUE(reader.openBuffer(serializeV3(records, 16)))
+            << reader.error();
+        EXPECT_EQ(reader.format(), TraceFormat::BinaryV2);
+        EXPECT_EQ(reader.version(), traceAttrVersion);
+        EXPECT_TRUE(reader.attribution());
+        CtrlTraceRecord rec;
+        std::size_t i = 0;
+        while (reader.next(rec)) {
+            ASSERT_LT(i, records.size());
+            expectSameRecord(rec, records[i], i);
+            EXPECT_EQ(rec.latencyNs, records[i].latencyNs);
+            expectSameAttr(rec.attr, records[i].attr, i);
+            ++i;
+        }
+        EXPECT_TRUE(reader.ok()) << reader.error();
+        EXPECT_EQ(i, records.size());
+    }
+    {
+        TraceReader reader;
+        ASSERT_TRUE(reader.openBuffer(serializeCsvAttr(records)))
+            << reader.error();
+        EXPECT_EQ(reader.format(), TraceFormat::Csv);
+        EXPECT_TRUE(reader.attribution());
+        CtrlTraceRecord rec;
+        std::size_t i = 0;
+        while (reader.next(rec)) {
+            ASSERT_LT(i, records.size());
+            expectSameRecord(rec, records[i], i);
+            expectSameAttr(rec.attr, records[i].attr, i);
+            ++i;
+        }
+        EXPECT_TRUE(reader.ok()) << reader.error();
+        EXPECT_EQ(i, records.size());
+    }
+    // Base-format reads of the same records leave attr all zero.
+    TraceReader base;
+    ASSERT_TRUE(base.openBuffer(serializeV2(records, 16)))
+        << base.error();
+    EXPECT_FALSE(base.attribution());
+    CtrlTraceRecord rec;
+    while (base.next(rec))
+        expectSameAttr(rec.attr, WriteAttribution{}, 0);
+}
+
+TEST(TraceAttr, OffSerializationIgnoresPopulatedBlameBlocks)
+{
+    // The byte-differential guarantee: attribution-off output of
+    // records whose in-memory attr fields are populated is identical
+    // to the output of the same records with attr zeroed — the off
+    // path never reads the blame block at all.
+    auto records = randomAttrRecords(64, 0xAA02);
+    auto zeroed = records;
+    for (auto &r : zeroed)
+        r.attr = WriteAttribution{};
+    EXPECT_EQ(serializeV2(records, 8), serializeV2(zeroed, 8));
+    EXPECT_EQ(serializeCsv(records), serializeCsv(zeroed));
+    EXPECT_EQ(serializeV1(records), serializeV1(zeroed));
+}
+
+TEST(TraceAttr, CsvAttributionAddsExactlyTheBlameColumns)
+{
+    auto records = randomAttrRecords(48, 0xAA03);
+    std::istringstream attr(serializeCsvAttr(records));
+    std::istringstream plain(serializeCsv(records));
+    std::string attrLine, plainLine;
+    std::size_t line = 0;
+    while (std::getline(plain, plainLine)) {
+        ASSERT_TRUE(std::getline(attr, attrLine)) << "line " << line;
+        // Each attr row is the base row plus 8 comma fields.
+        ASSERT_GT(attrLine.size(), plainLine.size()) << attrLine;
+        if (line == 0) {
+            EXPECT_EQ(attrLine, std::string(traceCsvHeaderAttr)
+                                    .substr(0, attrLine.size()));
+        } else {
+            EXPECT_EQ(attrLine.substr(0, plainLine.size()),
+                      plainLine)
+                << "line " << line;
+            EXPECT_EQ(attrLine[plainLine.size()], ',');
+            std::size_t commas = 0;
+            for (std::size_t p = plainLine.size();
+                 p < attrLine.size(); ++p)
+                commas += attrLine[p] == ',' ? 1 : 0;
+            EXPECT_EQ(commas, 8u) << attrLine;
+        }
+        ++line;
+    }
+    EXPECT_FALSE(std::getline(attr, attrLine));
+}
+
+TEST(TraceAttr, V3TruncationWallErrorsNeverCrash)
+{
+    auto records = randomAttrRecords(20, 0xAA04);
+    const std::string whole = serializeV3(records, 8);
+    for (std::size_t len = 0; len < whole.size(); ++len) {
+        TraceReader reader;
+        reader.openBuffer(whole.substr(0, len));
+        CtrlTraceRecord rec;
+        while (reader.next(rec)) {
+        }
+        EXPECT_FALSE(reader.ok())
+            << "v3 truncation to " << len << " of " << whole.size()
+            << " bytes was not reported as an error";
+    }
+}
+
+TEST(TraceAttr, EveryV3ByteFlipIsDetectedOrHarmless)
+{
+    auto records = randomAttrRecords(20, 0xAA05);
+    const std::string whole = serializeV3(records, 8);
+    for (std::size_t pos = 0; pos < whole.size(); ++pos) {
+        std::string flipped = whole;
+        flipped[pos] ^= 0x01;
+        TraceReader reader;
+        bool opened = reader.openBuffer(std::move(flipped));
+        std::vector<CtrlTraceRecord> got;
+        CtrlTraceRecord rec;
+        while (reader.next(rec))
+            got.push_back(rec);
+        if (pos >= 16) {
+            // The blame block rides inside the chunk payloads, so the
+            // same CRC/index wall covers it byte for byte.
+            EXPECT_FALSE(reader.ok())
+                << "v3 flip at offset " << pos << " went undetected";
+        } else if (opened && reader.ok()) {
+            ASSERT_EQ(got.size(), records.size())
+                << "flip at offset " << pos;
+            for (std::size_t i = 0; i < got.size(); ++i) {
+                expectSameRecord(got[i], records[i], i);
+                expectSameAttr(got[i].attr, records[i].attr, i);
+            }
+        }
+    }
+}
+
+TEST(TraceAttr, StreamingV3MatchesBufferedBytes)
+{
+    const std::size_t chunk = 32;
+    auto records = randomAttrRecords(chunk * 5 + 3, 0xAA06);
+    fs::path dir = fs::path(::testing::TempDir()) / "ladder_attr";
+    fs::create_directories(dir);
+    TraceStreamOptions options;
+    options.chunkRecords = chunk;
+    auto slurp = [](const fs::path &p) {
+        std::ifstream is(p, std::ios::binary);
+        std::ostringstream os;
+        os << is.rdbuf();
+        return os.str();
+    };
+    {
+        fs::path path = dir / "attr.bin";
+        WriteTraceSink sink(path.string(), TraceFormat::BinaryV2,
+                            options, /*attribution=*/true);
+        EXPECT_TRUE(sink.attribution());
+        for (const auto &r : records)
+            sink.record(r);
+        sink.finish();
+        EXPECT_EQ(slurp(path), serializeV3(records, chunk))
+            << "streamed v3 bytes differ from buffered";
+    }
+    {
+        fs::path path = dir / "attr.csv";
+        WriteTraceSink sink(path.string(), TraceFormat::Csv, options,
+                            /*attribution=*/true);
+        for (const auto &r : records)
+            sink.record(r);
+        sink.finish();
+        EXPECT_EQ(slurp(path), serializeCsvAttr(records))
+            << "streamed attr CSV bytes differ from buffered";
+    }
+    fs::remove_all(dir);
 }
 
 TEST(TraceWindow, SkippedChunksAreNeverCrcCheckedOrDecoded)
